@@ -1,0 +1,115 @@
+"""Extension experiment — accuracy on the paper's future-work query classes.
+
+The paper evaluates simple single-condition distance queries; §8 lists
+"join queries ... and intricate spatial and semantic filters" as future
+work.  This bench measures how well MAST's index answers those extended
+classes against the Oracle:
+
+* directional (sector) retrieval — "cars in the forward cone";
+* windowed (region) retrieval — "cars in the lane-ahead box";
+* compound AND retrieval — "cars near AND pedestrians near" (join-style);
+* compound OR retrieval.
+
+Expectation: accuracy is in the same band as the paper's plain distance
+queries, since the index stores full xy positions and compound masks
+compose per-leaf count series exactly.
+
+The timed operation is one compound query against the index.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import MODEL_SEED, POLICY_SEEDS, emit, get_sequence
+from repro.baselines import MAST, OracleCountProvider
+from repro.core import MASTConfig
+from repro.evalx import MethodExecutor, f1_score, format_table
+from repro.models import make_model
+from repro.query import QueryEngine, parse_query
+
+EXTENDED_QUERIES = [
+    ("sector-front", "SELECT FRAMES WHERE COUNT(Car DIST <= 25 SECTOR -45 45) >= 1"),
+    ("sector-rear", "SELECT FRAMES WHERE COUNT(Car DIST <= 25 SECTOR 135 225) >= 1"),
+    ("region-ahead", "SELECT FRAMES WHERE COUNT(Car REGION 0 -6 30 6) >= 1"),
+    (
+        "join-and",
+        "SELECT FRAMES WHERE COUNT(Car DIST <= 15) >= 1 "
+        "AND COUNT(Pedestrian DIST <= 20) >= 1",
+    ),
+    (
+        "join-or",
+        "SELECT FRAMES WHERE COUNT(Truck DIST <= 20) >= 1 "
+        "OR COUNT(Cyclist DIST <= 15) >= 1",
+    ),
+    (
+        "boxed-in",
+        "SELECT FRAMES WHERE COUNT(Car DIST <= 15 SECTOR -60 60) >= 1 "
+        "AND COUNT(Car DIST <= 15 SECTOR 120 240) >= 1",
+    ),
+]
+
+# Baseline band: plain distance queries of similar selectivity.
+PLAIN_QUERIES = [
+    ("plain-near", "SELECT FRAMES WHERE COUNT(Car DIST <= 25) >= 1"),
+    ("plain-join-free", "SELECT FRAMES WHERE COUNT(Pedestrian DIST <= 20) >= 1"),
+]
+
+
+def _rows():
+    sequence = get_sequence("semantickitti", 0)
+    model = make_model("pv_rcnn", seed=MODEL_SEED)
+    oracle_engine = QueryEngine(OracleCountProvider(sequence, model))
+
+    rows = []
+    for name, text in EXTENDED_QUERIES + PLAIN_QUERIES:
+        query = parse_query(text)
+        truth = oracle_engine.execute(query)
+        scores = []
+        for seed in POLICY_SEEDS:
+            executor = MethodExecutor(
+                MAST, sequence, model, MASTConfig(seed=seed)
+            )
+            predicted = executor.execute(query)
+            scores.append(f1_score(predicted.id_set(), truth.id_set()))
+        rows.append(
+            [
+                name,
+                truth.cardinality,
+                f"{100 * truth.selectivity:.1f}%",
+                round(float(np.mean(scores)), 3),
+            ]
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    return _rows()
+
+
+def test_extension_queries(table_rows, benchmark):
+    emit(
+        "extension_queries",
+        format_table(
+            ["query class", "oracle frames", "selectivity", "MAST F1"],
+            table_rows,
+            title="Extension experiment: future-work query classes "
+            "(MAST vs Oracle, 3-seed mean)",
+        ),
+    )
+
+    by_name = {row[0]: row for row in table_rows}
+    # Extended classes stay within a usable band when non-degenerate.
+    for name, cardinality, _sel, f1 in table_rows:
+        if cardinality >= 20:
+            assert f1 > 0.5, f"{name} collapsed: F1={f1}"
+    # Sector/region queries track the plain-distance band reasonably.
+    plain_f1 = by_name["plain-near"][3]
+    assert by_name["sector-front"][3] > plain_f1 - 0.25
+
+    # Timed: a compound query against a prebuilt MAST executor.
+    sequence = get_sequence("semantickitti", 0)
+    model = make_model("pv_rcnn", seed=MODEL_SEED)
+    executor = MethodExecutor(MAST, sequence, model, MASTConfig(seed=POLICY_SEEDS[0]))
+    query = parse_query(EXTENDED_QUERIES[3][1])
+    benchmark(lambda: executor.execute(query))

@@ -1,0 +1,105 @@
+"""Fig. 11 — design-choice evaluation (RQ7).
+
+Reproduces:
+
+* **Fig 11a** — retrieval F1 vs segment-tree branching factor (2-10) at
+  a 5 % budget, where granularity matters most.  Paper shape: binary
+  splitting is best; performance degrades as the branching factor grows
+  (less flexible depth control).
+* **Fig 11b** — the ablation grid: Seiden-PC vs MAST-noST (hierarchy
+  only) vs MAST-noH (ST reward only) vs MAST.  Paper shape: both
+  components help; each ablation still beats Seiden-PC.
+
+The timed operation is segment-tree selection/update stepping.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import POLICY_SEEDS, emit, get_experiment
+from repro.baselines import ABLATION_METHODS
+from repro.core import SegmentTree
+from repro.evalx import format_table
+
+BRANCHING_FACTORS = (2, 3, 4, 6, 8, 10)
+
+
+def _branching_rows():
+    rows = []
+    for branching in BRANCHING_FACTORS:
+        f1_values = [
+            get_experiment(
+                "semantickitti",
+                0,
+                budget_fraction=0.05,
+                branching=branching,
+                seed=seed,
+            )["mast"].mean_retrieval_f1
+            for seed in POLICY_SEEDS
+        ]
+        rows.append([branching, round(float(np.mean(f1_values)), 3)])
+    return rows
+
+
+def _ablation_rows():
+    order = ("seiden_pc", "mast_nost", "mast_noh", "mast")
+    means = {name: [] for name in order}
+    for seed in POLICY_SEEDS:
+        report = get_experiment(
+            "semantickitti", 0, methods=ABLATION_METHODS, seed=seed
+        )
+        for name in order:
+            means[name].append(report[name].mean_retrieval_f1)
+    return [[name, round(float(np.mean(means[name])), 3)] for name in order]
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return _branching_rows(), _ablation_rows()
+
+
+def test_fig11_design_choices(tables, benchmark):
+    branching_rows, ablation_rows = tables
+    emit(
+        "fig11a_branching",
+        format_table(
+            ["branching factor", "MAST F1"],
+            branching_rows,
+            title="Fig 11a: retrieval F1 vs branching factor (budget 5%)",
+        ),
+    )
+    emit(
+        "fig11b_ablation",
+        format_table(
+            ["variant", "retrieval F1"],
+            ablation_rows,
+            title="Fig 11b: ablation (Seiden-PC / MAST-noST / MAST-noH / MAST)",
+        ),
+    )
+
+    # Fig 11a shape: binary split at least matches the largest factor.
+    f1_by_branching = {row[0]: row[1] for row in branching_rows}
+    assert f1_by_branching[2] >= f1_by_branching[10] - 0.005
+
+    # Fig 11b shape: full MAST tops the grid; ablations beat Seiden-PC.
+    f1_by_variant = {row[0]: row[1] for row in ablation_rows}
+    assert f1_by_variant["mast"] >= max(
+        f1_by_variant["mast_nost"], f1_by_variant["mast_noh"]
+    ) - 0.01
+    assert f1_by_variant["mast_nost"] >= f1_by_variant["seiden_pc"] - 0.02
+    assert f1_by_variant["mast_noh"] >= f1_by_variant["seiden_pc"] - 0.02
+
+    # Timed: 200 segment-tree select/record steps.
+    def tree_steps():
+        rng = np.random.default_rng(0)
+        tree = SegmentTree(list(range(0, 4001, 200)), rng=rng)
+        sampled = set(range(0, 4001, 200))
+        for _ in range(200):
+            selection = tree.select(sampled.__contains__)
+            if selection is None:
+                break
+            path, frame_id = selection
+            tree.record(path, frame_id, float(rng.random()))
+            sampled.add(frame_id)
+
+    benchmark(tree_steps)

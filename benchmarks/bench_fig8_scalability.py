@@ -1,0 +1,70 @@
+"""Fig. 8 — scalability on SynLiDAR subsets (10 % .. 100 % of the data).
+
+Reproduces: (a) processing time and (b) retrieval F1 of MAST as the
+dataset grows.  Paper shape: time grows linearly with the dataset (the
+framework "maintains its efficiency across different scales") while F1
+stays stable — handling batched arrival of new data.
+
+The timed operation is index construction on the largest subset.
+"""
+
+import pytest
+
+from benchmarks._harness import emit, get_experiment, scaled_length
+from repro.evalx import format_table
+from repro.utils.timing import STAGE_MODEL
+
+FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def _rows():
+    full = scaled_length("synlidar", 0)
+    rows = []
+    for fraction in FRACTIONS:
+        n_frames = max(300, int(full * fraction))
+        report = get_experiment("synlidar", 0, n_frames=n_frames)
+        mast = report["mast"]
+        rows.append(
+            [
+                f"{int(fraction * 100)}%",
+                n_frames,
+                round(mast.ledger.total(STAGE_MODEL), 1),
+                round(mast.ledger.grand_total, 1),
+                round(mast.mean_retrieval_f1, 3),
+            ]
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    return _rows()
+
+
+def test_fig8_scalability(table_rows, benchmark):
+    emit(
+        "fig8_scalability",
+        format_table(
+            ["subset", "frames", "model sec", "total sec", "MAST F1"],
+            table_rows,
+            title="Fig 8: SynLiDAR scalability (time grows ~linearly, "
+            "F1 stays stable)",
+        ),
+    )
+
+    # Linear-time shape: cost per frame roughly constant across scales.
+    per_frame = [row[3] / row[1] for row in table_rows]
+    assert max(per_frame) / min(per_frame) < 1.8
+
+    # Accuracy stability: F1 within a modest band across scales.
+    f1_values = [row[4] for row in table_rows]
+    assert max(f1_values) - min(f1_values) < 0.15
+    assert min(f1_values) > 0.7
+
+    # Timed: index construction at the largest subset.
+    report = get_experiment("synlidar", 0, n_frames=scaled_length("synlidar", 0))
+    from repro.core import MASTIndex
+
+    benchmark.pedantic(
+        lambda: MASTIndex.build(report["mast"].sampling), rounds=3, iterations=1
+    )

@@ -1,0 +1,95 @@
+"""Fig. 9 — retrieval F1 and Avg accuracy vs sampling budget (5 %-25 %).
+
+Reproduces: the budget sweep on SemanticKITTI sequence 0.  Paper shape:
+every method improves with budget; MAST's lead is largest at small
+budgets (5 %) and narrows above ~20 %, where "a simpler sampling and
+prediction can also achieve a good performance"; Avg accuracy is
+satisfactory even at low budgets.
+
+The timed operation is a sampling run at the smallest budget (where the
+adaptive policy does the most work per sample).
+"""
+
+import pytest
+
+from benchmarks._harness import (
+    MODEL_SEED,
+    SEED,
+    emit,
+    get_experiment,
+    get_sequence,
+)
+from repro.core import HierarchicalMultiAgentSampler, MASTConfig
+from repro.evalx import format_table
+from repro.models import make_model
+
+BUDGETS = (0.05, 0.10, 0.15, 0.20, 0.25)
+METHODS = ("seiden_pc", "seiden_pcst", "mast")
+
+
+def _rows():
+    rows_f1, rows_avg = [], []
+    for budget in BUDGETS:
+        report = get_experiment(
+            "semantickitti", 0, budget_fraction=budget
+        )
+        rows_f1.append(
+            [
+                f"{int(budget * 100)}%",
+                *(round(report[m].mean_retrieval_f1, 3) for m in METHODS),
+            ]
+        )
+        rows_avg.append(
+            [
+                f"{int(budget * 100)}%",
+                *(
+                    round(report[m].aggregate_accuracy_by_operator()["Avg"], 2)
+                    for m in METHODS
+                ),
+            ]
+        )
+    return rows_f1, rows_avg
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return _rows()
+
+
+def test_fig9_budget_sweep(tables, benchmark):
+    rows_f1, rows_avg = tables
+    emit(
+        "fig9_budget_f1",
+        format_table(
+            ["budget", *METHODS],
+            rows_f1,
+            title="Fig 9a: retrieval F1 vs sampling budget",
+        ),
+    )
+    emit(
+        "fig9_budget_avg",
+        format_table(
+            ["budget", *METHODS],
+            rows_avg,
+            title="Fig 9b: Avg aggregate accuracy % vs sampling budget",
+        ),
+    )
+
+    # F1 improves with budget for every method (allow small noise).
+    for column in (1, 2, 3):
+        first, last = rows_f1[0][column], rows_f1[-1][column]
+        assert last > first - 0.01, f"F1 should rise with budget (col {column})"
+    # MAST leads at the smallest budget.
+    assert rows_f1[0][3] >= rows_f1[0][1], "MAST should lead Seiden-PC at 5%"
+    # Avg accuracy already high at the lowest budget (sparse tolerance).
+    assert rows_avg[0][3] > 75.0
+
+    # Timed: adaptive sampling at 5 % budget.
+    sequence = get_sequence("semantickitti", 0)
+    model = make_model("pv_rcnn", seed=MODEL_SEED)
+    sampler = HierarchicalMultiAgentSampler(
+        MASTConfig(seed=SEED, budget_fraction=0.05)
+    )
+    benchmark.pedantic(
+        lambda: sampler.sample(sequence, model), rounds=3, iterations=1
+    )

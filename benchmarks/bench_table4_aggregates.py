@@ -1,0 +1,77 @@
+"""Table 4 — aggregate accuracy (Count / Avg / Med) across sequences.
+
+Reproduces: average aggregate accuracy (percent, Oracle = truth) for the
+three methods on the Table-3 sequence grid.  Paper shape: ST-based
+prediction lifts Count and Med strongly over linear prediction (these
+operators depend on every frame's value), while linear prediction is
+already competitive on Avg.
+
+The timed operation is the full 30-query aggregate workload against
+MAST's providers.
+"""
+
+import pytest
+
+from benchmarks._harness import emit, get_experiment, get_workload, sequence_label
+from repro.evalx import MethodExecutor, format_table
+
+GRID = [("semantickitti", i) for i in range(5)] + [
+    ("once", i) for i in range(5)
+] + [("synlidar", 0)]
+
+METHODS = ("seiden_pc", "seiden_pcst", "mast")
+OPERATORS = ("Count", "Avg", "Med")
+
+
+def _rows():
+    rows = []
+    for dataset, index in GRID:
+        report = get_experiment(dataset, index)
+        row = [dataset, sequence_label(dataset, index)]
+        for operator in OPERATORS:
+            for method in METHODS:
+                accuracy = report[method].aggregate_accuracy_by_operator()
+                row.append(round(accuracy[operator], 3))
+        rows.append(row)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    return _rows()
+
+
+def test_table4_aggregate_accuracy(table_rows, benchmark):
+    headers = ["dataset", "seq"]
+    for operator in OPERATORS:
+        headers += [f"{operator}:{m}" for m in ("SPC", "SPCST", "MAST")]
+    emit(
+        "table4_aggregates",
+        format_table(
+            headers,
+            table_rows,
+            title="Table 4: aggregate accuracy %% (Count | Avg | Med), "
+            "methods = Seiden-PC / Seiden-PCST / MAST",
+        ),
+    )
+
+    n = len(table_rows)
+    col = lambda c: sum(row[c] for row in table_rows) / n
+    # Count: ST-based methods (cols 3, 4) beat linear Seiden-PC (col 2).
+    assert col(4) > col(2), "MAST should beat Seiden-PC on Count accuracy"
+    assert col(3) > col(2), "Seiden-PCST should beat Seiden-PC on Count"
+    # Med: MAST (col 10) at least matches Seiden-PC (col 8).
+    assert col(10) >= col(8) - 1.0
+
+    # Timed op: the aggregate workload through MAST's executor.
+    from benchmarks._harness import MODEL_SEED, SEED, get_sequence
+    from repro.baselines import MAST
+    from repro.core import MASTConfig
+    from repro.models import make_model
+
+    sequence = get_sequence("semantickitti", 0)
+    executor = MethodExecutor(
+        MAST, sequence, make_model("pv_rcnn", seed=MODEL_SEED), MASTConfig(seed=SEED)
+    )
+    queries = list(get_workload().aggregates)
+    benchmark(lambda: [executor.execute(q) for q in queries])

@@ -1,0 +1,66 @@
+"""Table 5 — Min / Max aggregate accuracy across sequences.
+
+Reproduces: the global-extrema operators on the Table-3 grid.  Paper
+shape: Min accuracy is high (usually 100 %) for all methods with MAST
+strongest; Max is harder because the global maximum sits on a sharp
+y(t) peak that only well-placed samples catch.
+
+The timed operation is evaluating Min/Max count series reductions.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit, get_experiment, sequence_label
+from repro.evalx import format_table
+
+GRID = [("semantickitti", i) for i in range(5)] + [
+    ("once", i) for i in range(5)
+] + [("synlidar", 0)]
+
+METHODS = ("seiden_pc", "seiden_pcst", "mast")
+
+
+def _rows():
+    rows = []
+    for dataset, index in GRID:
+        report = get_experiment(dataset, index)
+        row = [dataset, sequence_label(dataset, index)]
+        for operator in ("Min", "Max"):
+            for method in METHODS:
+                accuracy = report[method].aggregate_accuracy_by_operator()
+                row.append(round(accuracy[operator], 3))
+        rows.append(row)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    return _rows()
+
+
+def test_table5_min_max_accuracy(table_rows, benchmark):
+    headers = ["dataset", "seq"]
+    for operator in ("Min", "Max"):
+        headers += [f"{operator}:{m}" for m in ("SPC", "SPCST", "MAST")]
+    emit(
+        "table5_minmax",
+        format_table(
+            headers,
+            table_rows,
+            title="Table 5: Min / Max aggregate accuracy %",
+        ),
+    )
+
+    n = len(table_rows)
+    col = lambda c: sum(row[c] for row in table_rows) / n
+    # Min accuracy is high across the board (paper: mostly 100).
+    assert col(2) > 60 and col(3) > 60 and col(4) > 60
+    # Max stays meaningful for every method.
+    assert col(5) > 60 and col(7) > 60
+
+    # Timed op: Min/Max reductions over a long count series.
+    series = np.abs(np.sin(np.arange(50_000) / 40.0)) * 8
+    from repro.query import aggregate
+
+    benchmark(lambda: (aggregate("Min", series), aggregate("Max", series)))

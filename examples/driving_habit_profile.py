@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Driver-habit profiling with aggregate queries (paper Example 1.1, part 2).
+
+"The company may want to determine whether a driver tends to drive close
+to neighboring cars or maintain a safe distance" — an aggregate profile
+over the whole drive.  This example computes a habit report per driver
+from the paper's five aggregate operators, using the MAST pipeline's
+per-operator predictor assignment (ST prediction for Count/Med/Min/Max,
+linear prediction for Avg, exactly as §7.1 configures it).
+
+It also demonstrates the extension registry: a custom ``P95`` aggregate
+is registered at runtime (the paper's "other aggregate predicates can be
+supported with minimal effort" claim).
+
+Run:  python examples/driving_habit_profile.py
+"""
+
+import numpy as np
+
+from repro import MASTConfig, MASTPipeline
+from repro.evalx import format_table
+from repro.models import pv_rcnn
+from repro.query import register_aggregate
+from repro.simulation import semantickitti_like
+
+
+def register_p95() -> None:
+    """A tail-risk operator: 95th percentile of nearby-car counts."""
+    register_aggregate(
+        "P95",
+        lambda counts, _pred: float(np.percentile(counts, 95)),
+        overwrite=True,
+    )
+
+
+def profile_driver(name: str, sequence, model) -> list:
+    pipeline = MASTPipeline(MASTConfig(budget_fraction=0.10, seed=0))
+    pipeline.fit(sequence, model)
+
+    avg_near = pipeline.query("SELECT AVG OF COUNT(Car DIST <= 10)").value
+    med_near = pipeline.query("SELECT MED OF COUNT(Car DIST <= 10)").value
+    max_near = pipeline.query("SELECT MAX OF COUNT(Car DIST <= 10)").value
+    p95_near = pipeline.query("SELECT P95 OF COUNT(Car DIST <= 10)").value
+    crowded = pipeline.query(
+        "SELECT COUNT FRAMES WHERE COUNT(Car DIST <= 10) >= 3"
+    ).value
+    crowded_share = crowded / len(sequence)
+
+    # A simple habit score: how often the driver sits in dense traffic.
+    habit = "close-follower" if crowded_share > 0.05 or avg_near > 1.0 else "keeps-distance"
+    return [
+        name,
+        f"{avg_near:.2f}",
+        f"{med_near:.0f}",
+        f"{p95_near:.0f}",
+        f"{max_near:.0f}",
+        f"{100 * crowded_share:.1f}%",
+        habit,
+    ]
+
+
+def main() -> None:
+    register_p95()
+    model = pv_rcnn(seed=0)
+
+    print("profiling three drivers (distinct drives) ...\n")
+    rows = [
+        profile_driver(
+            f"driver-{index}",
+            semantickitti_like(index, n_frames=1200, with_points=False),
+            model,
+        )
+        for index in range(3)
+    ]
+    print(
+        format_table(
+            [
+                "driver",
+                "avg cars<=10m",
+                "median",
+                "p95",
+                "max",
+                "crowded frames",
+                "habit",
+            ],
+            rows,
+            title="Driving-habit profile (approximate, 10 % budget)",
+        )
+    )
+    print(
+        "\nNote: Avg uses linear prediction and Count/Med/Min/Max use "
+        "ST-based prediction, the paper's per-operator assignment."
+    )
+
+
+if __name__ == "__main__":
+    main()

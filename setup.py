@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP 517
+editable installs fail at ``bdist_wheel``.  Keeping a ``setup.py`` (and no
+``[build-system]`` table in ``pyproject.toml``) lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path, which works offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

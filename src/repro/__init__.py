@@ -1,0 +1,43 @@
+"""repro — a reproduction of MAST (SIGMOD 2025).
+
+Efficient approximate analytical query processing on point-cloud data:
+budgeted multi-agent frame sampling, spatio-temporal motion prediction,
+an index over real + predicted detections, and a retrieval/aggregate
+query engine — plus the driving-world simulator, detector models,
+baselines, and evaluation harness needed to reproduce the paper's
+experiments end to end.
+
+Quickstart::
+
+    from repro import MASTPipeline, MASTConfig
+    from repro.models import pv_rcnn
+    from repro.simulation import semantickitti_like
+
+    sequence = semantickitti_like(0, length_scale=0.1)
+    pipeline = MASTPipeline(MASTConfig(budget_fraction=0.10))
+    pipeline.fit(sequence, pv_rcnn())
+    frames = pipeline.query("SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3")
+    average = pipeline.query("SELECT AVG OF COUNT(Car DIST <= 10)")
+"""
+
+from repro.core import MASTConfig, MASTIndex, MASTPipeline, SamplingResult
+from repro.data import FrameSequence, ObjectArray, PointCloudDatabase, PointCloudFrame
+from repro.query import AggregateQuery, QueryEngine, RetrievalQuery, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateQuery",
+    "FrameSequence",
+    "MASTConfig",
+    "MASTIndex",
+    "MASTPipeline",
+    "ObjectArray",
+    "PointCloudDatabase",
+    "PointCloudFrame",
+    "QueryEngine",
+    "RetrievalQuery",
+    "SamplingResult",
+    "__version__",
+    "parse_query",
+]

@@ -1,0 +1,44 @@
+"""Comparison methods: Oracle, Seiden-PC(+ST), MAST ablations, trivial samplers."""
+
+from repro.baselines.oracle import OracleCountProvider
+from repro.baselines.proxy import PROFILE_TINY_PROXY, ProxyCountProvider, tiny_proxy
+from repro.baselines.seiden import SeidenPCSampler
+from repro.baselines.simple import RandomSampler, UniformSampler
+from repro.baselines.variants import (
+    ABLATION_METHODS,
+    MAST,
+    MAST_NOH,
+    MAST_NOST,
+    ORACLE,
+    PAPER_METHODS,
+    RANDOM_LINEAR,
+    SEIDEN_PC,
+    SEIDEN_PCST,
+    UNIFORM_LINEAR,
+    MethodSpec,
+    available_methods,
+    get_method,
+)
+
+__all__ = [
+    "ABLATION_METHODS",
+    "MAST",
+    "MAST_NOH",
+    "MAST_NOST",
+    "MethodSpec",
+    "ORACLE",
+    "OracleCountProvider",
+    "PAPER_METHODS",
+    "PROFILE_TINY_PROXY",
+    "ProxyCountProvider",
+    "tiny_proxy",
+    "RANDOM_LINEAR",
+    "RandomSampler",
+    "SEIDEN_PC",
+    "SEIDEN_PCST",
+    "SeidenPCSampler",
+    "UNIFORM_LINEAR",
+    "UniformSampler",
+    "available_methods",
+    "get_method",
+]

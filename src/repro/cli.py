@@ -1,0 +1,273 @@
+"""Command-line interface.
+
+Four subcommands cover the operational lifecycle:
+
+* ``repro simulate`` — build a synthetic sequence and persist it;
+* ``repro fit``      — run MAST sampling on a stored sequence, persist
+  the detections checkpoint;
+* ``repro query``    — answer query-language queries from a stored
+  sequence + detections checkpoint;
+* ``repro experiment`` — run the paper's method comparison on one
+  sequence and print the result tables;
+* ``repro tracks``   — stitch object tracks from a checkpoint and print
+  per-label summaries plus persistent close-proximity tracks.
+
+Every command is pure-offline and deterministic given its ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import MASTConfig, MASTIndex, SamplingResult, STCountProvider
+from repro.core.sampler import HierarchicalMultiAgentSampler
+from repro.data import (
+    load_detections,
+    load_sequence,
+    save_detections,
+    save_sequence,
+)
+from repro.models import available_models, make_model
+from repro.query import AggregateResult, QueryEngine, RetrievalResult
+from repro.simulation import build_sequence, dataset_spec
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = ("semantickitti", "once", "synlidar")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAST reproduction: efficient analytical queries on "
+        "point-cloud data.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="build a synthetic sequence and save it as .npz"
+    )
+    simulate.add_argument("--dataset", choices=_DATASETS, default="semantickitti")
+    simulate.add_argument("--sequence-index", type=int, default=0)
+    simulate.add_argument("--frames", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--out", required=True, help="output .npz path")
+
+    fit = sub.add_parser(
+        "fit", help="run MAST sampling on a stored sequence"
+    )
+    fit.add_argument("--sequence", required=True, help="sequence .npz path")
+    fit.add_argument("--model", choices=available_models(), default="pv_rcnn")
+    fit.add_argument("--budget", type=float, default=0.10,
+                     help="sampling budget fraction (default 0.10)")
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--out", required=True, help="detections .npz path")
+
+    query = sub.add_parser(
+        "query", help="answer queries from a sequence + detections checkpoint"
+    )
+    query.add_argument("--sequence", required=True)
+    query.add_argument("--detections", required=True)
+    query.add_argument("queries", nargs="+", help="query-language text(s)")
+
+    tracks = sub.add_parser(
+        "tracks", help="stitch object tracks from a checkpoint"
+    )
+    tracks.add_argument("--sequence", required=True)
+    tracks.add_argument("--detections", required=True)
+    tracks.add_argument("--max-speed", type=float, default=40.0,
+                        help="association gate in m/s (default 40)")
+    tracks.add_argument("--within", type=float, default=None,
+                        help="also list tracks staying within this distance (m)")
+    tracks.add_argument("--min-duration", type=float, default=4.0,
+                        help="minimum contiguous residence for --within (s)")
+
+    experiment = sub.add_parser(
+        "experiment", help="run the paper's method comparison on one sequence"
+    )
+    experiment.add_argument("--dataset", choices=_DATASETS, default="semantickitti")
+    experiment.add_argument("--sequence-index", type=int, default=0)
+    experiment.add_argument("--frames", type=int, default=1000)
+    experiment.add_argument("--budget", type=float, default=0.10)
+    experiment.add_argument("--model", choices=available_models(), default="pv_rcnn")
+    experiment.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args, out) -> int:
+    sequence = build_sequence(
+        dataset_spec(args.dataset),
+        args.sequence_index,
+        n_frames=args.frames,
+        seed=args.seed,
+        with_points=False,
+    )
+    path = save_sequence(sequence, args.out)
+    print(f"wrote {sequence} -> {path}", file=out)
+    return 0
+
+
+def _cmd_fit(args, out) -> int:
+    sequence = load_sequence(args.sequence)
+    model = make_model(args.model, seed=args.seed)
+    config = MASTConfig(budget_fraction=args.budget, seed=args.seed)
+    sampler = HierarchicalMultiAgentSampler(config)
+    result = sampler.sample(sequence, model)
+    path = save_detections(result.detections, args.out, model_name=model.name)
+    print(
+        f"sampled {len(result.sampled_ids)} / {len(sequence)} frames "
+        f"({100 * result.sampling_fraction:.1f} %), "
+        f"deep-model time {result.ledger.total('deep_model'):.1f}s -> {path}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    result = _load_sampling(args.sequence, args.detections)
+    index = MASTIndex.build(result)
+    engine = QueryEngine(STCountProvider(index))
+    status = 0
+    for text in args.queries:
+        try:
+            answer = engine.execute(text)
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            status = 2
+            continue
+        if isinstance(answer, RetrievalResult):
+            ids = ", ".join(str(i) for i in answer.frame_ids[:20])
+            suffix = " ..." if answer.cardinality > 20 else ""
+            print(
+                f"{text}\n  -> {answer.cardinality} frames "
+                f"({100 * answer.selectivity:.2f} %): [{ids}{suffix}]",
+                file=out,
+            )
+        elif isinstance(answer, AggregateResult):
+            print(f"{text}\n  -> {answer.value:.4f}", file=out)
+    return status
+
+
+def _load_sampling(sequence_path, detections_path) -> SamplingResult:
+    sequence = load_sequence(sequence_path)
+    detections, _model_name = load_detections(detections_path)
+    return SamplingResult(
+        sequence_name=sequence.name,
+        n_frames=len(sequence),
+        timestamps=sequence.timestamps,
+        budget=len(detections),
+        sampled_ids=np.array(sorted(detections), dtype=np.int64),
+        detections=detections,
+    )
+
+
+def _cmd_tracks(args, out) -> int:
+    from repro.evalx import format_table
+    from repro.query import SpatialPredicate
+    from repro.tracking import StitchConfig, stitch_tracks, track_summary, tracks_within
+
+    result = _load_sampling(args.sequence, args.detections)
+    tracks = stitch_tracks(result, StitchConfig(max_speed=args.max_speed))
+    summary = track_summary(tracks)
+    rows = [
+        [label, int(stats["count"]), f"{stats['mean_duration']:.1f}",
+         f"{stats['mean_speed']:.1f}", f"{stats['min_distance']:.1f}"]
+        for label, stats in summary.items()
+    ]
+    print(
+        format_table(
+            ["label", "tracks", "mean dur (s)", "mean speed (m/s)",
+             "closest (m)"],
+            rows,
+            title=f"{len(tracks)} tracks stitched from "
+            f"{len(result.sampled_ids)} sampled frames",
+        ),
+        file=out,
+    )
+    if args.within is not None:
+        matches = tracks_within(
+            tracks,
+            SpatialPredicate("<=", args.within),
+            min_duration=args.min_duration,
+        )
+        print(
+            f"\ntracks within {args.within:g} m for >= "
+            f"{args.min_duration:g} s: {len(matches)}",
+            file=out,
+        )
+        for match in sorted(matches, key=lambda m: -m.duration)[:15]:
+            print(
+                f"  track {match.track_ids[0]:>4} ({match.label}): "
+                f"{match.start_time:.1f}s - {match.end_time:.1f}s "
+                f"({match.duration:.1f}s)",
+                file=out,
+            )
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    from repro.evalx import format_table, run_experiment
+    from repro.query import generate_workload
+
+    sequence = build_sequence(
+        dataset_spec(args.dataset),
+        args.sequence_index,
+        n_frames=args.frames,
+        with_points=False,
+    )
+    model = make_model(args.model, seed=5)
+    report = run_experiment(
+        sequence,
+        model,
+        generate_workload(rng=args.seed),
+        config=MASTConfig(seed=args.seed, budget_fraction=args.budget),
+    )
+    rows = []
+    for name, method_report in report.methods.items():
+        accuracy = method_report.aggregate_accuracy_by_operator()
+        rows.append(
+            [
+                name,
+                round(method_report.mean_retrieval_f1, 3),
+                *(round(accuracy[op], 1) for op in ("Count", "Avg", "Med")),
+                round(method_report.ledger.total("deep_model"), 1),
+            ]
+        )
+    print(
+        format_table(
+            ["method", "retrieval F1", "Count%", "Avg%", "Med%", "model sec"],
+            rows,
+            title=f"{sequence.name} ({args.model}, budget "
+            f"{int(100 * args.budget)}%, {report.n_retrieval_queries} "
+            f"retrieval queries kept)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "fit": _cmd_fit,
+    "query": _cmd_query,
+    "tracks": _cmd_tracks,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

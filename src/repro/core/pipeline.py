@@ -1,0 +1,291 @@
+"""End-to-end MAST pipeline facade.
+
+``MASTPipeline`` wires the paper's Fig. 2 architecture together: the
+sampling module (Alg. 2), the deep model, the indexing module (Alg. 3),
+and the query-processing module with the paper's per-operator predictor
+assignment (§7.1: ST-based prediction for retrieval / Count / Med,
+linear prediction for Avg).
+
+Typical use::
+
+    from repro import MASTPipeline, MASTConfig
+    from repro.models import pv_rcnn
+    from repro.simulation import semantickitti_like
+
+    sequence = semantickitti_like(0, length_scale=0.1)
+    pipeline = MASTPipeline(MASTConfig(budget_fraction=0.10))
+    pipeline.fit(sequence, pv_rcnn())
+    result = pipeline.query("SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3")
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MASTConfig
+from repro.core.index import LinearCountProvider, MASTIndex, STCountProvider
+from repro.core.sampler import HierarchicalMultiAgentSampler, SamplingResult
+from repro.data.frame import PointCloudFrame
+from repro.data.sequence import FrameSequence
+from repro.models.base import DetectionModel
+from repro.query.ast import (
+    AggregateQuery,
+    AggregateResult,
+    CompoundRetrievalQuery,
+    RetrievalQuery,
+    RetrievalResult,
+)
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.utils.timing import CostLedger
+from repro.utils.validation import require
+
+__all__ = ["MASTPipeline"]
+
+
+class MASTPipeline:
+    """Sampling + indexing + query processing in one object."""
+
+    def __init__(self, config: MASTConfig | None = None) -> None:
+        self.config = config or MASTConfig()
+        self.ledger = CostLedger()
+        self._sequence: FrameSequence | None = None
+        self._model: DetectionModel | None = None
+        self._sampling: SamplingResult | None = None
+        self._index: MASTIndex | None = None
+        self._st_engine: QueryEngine | None = None
+        self._linear_engine: QueryEngine | None = None
+        self._linear_retrieval_engine: QueryEngine | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, sequence: FrameSequence, model: DetectionModel) -> MASTPipeline:
+        """Run the sampling and indexing procedures on ``sequence``."""
+        self._sequence = sequence
+        self._model = model
+        sampler = HierarchicalMultiAgentSampler(self.config)
+        self._sampling = sampler.sample(sequence, model, ledger=self.ledger)
+        self._rebuild_index()
+        return self
+
+    def extend(
+        self, new_frames: list[PointCloudFrame], *, model: DetectionModel | None = None
+    ) -> MASTPipeline:
+        """Ingest a new batch of frames (periodic arrival, Problem 1).
+
+        The extended region is sampled with the same budget fraction —
+        a uniform share plus adaptive samples via a fresh run restricted
+        to the new frames — and the index is rebuilt.  Query results
+        afterwards cover the extended sequence.
+        """
+        require(self._sequence is not None, "fit() must be called before extend()")
+        assert self._sequence is not None and self._sampling is not None
+        model = model or self._model
+        assert model is not None
+        extended = self._sequence.extended(new_frames)
+
+        old_n = self._sampling.n_frames
+        sub_config = self.config.with_overrides()
+        sampler = HierarchicalMultiAgentSampler(sub_config)
+        # Sample the new region as its own (shifted) sub-problem.
+        tail = FrameSequence(
+            [
+                PointCloudFrame(
+                    frame_id=f.frame_id - old_n + 1,
+                    timestamp=f.timestamp,
+                    ego_pose=f.ego_pose,
+                    ground_truth=f.ground_truth,
+                    _points_provider=f._points_provider,
+                )
+                for f in ([extended[old_n - 1]] + list(new_frames))
+            ],
+            fps=extended.fps,
+            name=f"{extended.name}-tail",
+        )
+        tail_result = sampler.sample(tail, model, ledger=self.ledger)
+
+        merged_ids = np.union1d(
+            self._sampling.sampled_ids, tail_result.sampled_ids + old_n - 1
+        )
+        merged_detections = dict(self._sampling.detections)
+        for frame_id, objects in tail_result.detections.items():
+            merged_detections[int(frame_id) + old_n - 1] = objects
+
+        self._sequence = extended
+        self._model = model
+        self._sampling = SamplingResult(
+            sequence_name=extended.name,
+            n_frames=len(extended),
+            timestamps=extended.timestamps,
+            budget=self._sampling.budget + tail_result.budget,
+            sampled_ids=merged_ids,
+            detections=merged_detections,
+            rewards=self._sampling.rewards + tail_result.rewards,
+            ledger=self.ledger,
+            policy_info=self._sampling.policy_info,
+        )
+        self._rebuild_index()
+        return self
+
+    def _rebuild_index(self) -> None:
+        assert self._sampling is not None
+        self._index = MASTIndex.build(self._sampling, self.config, ledger=self.ledger)
+        st_provider = STCountProvider(self._index)
+        linear_provider = LinearCountProvider(self._sampling)
+        self._st_engine = QueryEngine(st_provider, ledger=self.ledger)
+        self._linear_engine = QueryEngine(linear_provider, ledger=self.ledger)
+        self._linear_retrieval_engine = QueryEngine(
+            linear_provider.quantized(), ledger=self.ledger
+        )
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self, query) -> RetrievalResult | AggregateResult:
+        """Answer one query (object or query-language text).
+
+        The predictor is chosen per the paper's §7.1 assignment
+        (configurable via :class:`MASTConfig`).
+        """
+        require(self._index is not None, "fit() must be called before query()")
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self._engine_for(query).execute(query)
+
+    def query_many(self, queries) -> list[RetrievalResult | AggregateResult]:
+        """Answer a list of queries in order."""
+        return [self.query(q) for q in queries]
+
+    def query_with_interval(
+        self, query, *, lipschitz: float | None = None, safety: float = 1.5
+    ):
+        """Answer an aggregate query with its Thm 6.1 error band (§6.2).
+
+        Supported for the Avg / Med / Count operators.  Returns
+        ``(AggregateResult, ConfidenceInterval)``.  ``lipschitz`` is the
+        empirical Lipschitz constant of the query's count signal; when
+        omitted it is estimated from the sampled frames and widened by
+        ``safety``.
+        """
+        from repro.evalx.intervals import aggregate_interval
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not isinstance(query, AggregateQuery):
+            raise TypeError("query_with_interval only supports aggregate queries")
+        result = self.query(query)
+        interval = aggregate_interval(
+            self.sampling_result, query, result.value,
+            lipschitz=lipschitz, safety=safety,
+        )
+        return result, interval
+
+    def _engine_for(self, query) -> QueryEngine:
+        assert self._st_engine is not None
+        if isinstance(query, (RetrievalQuery, CompoundRetrievalQuery)):
+            predictor = self.config.retrieval_predictor
+            if predictor == "linear":
+                assert self._linear_retrieval_engine is not None
+                return self._linear_retrieval_engine
+            return self._st_engine
+        if isinstance(query, AggregateQuery):
+            predictor = self.config.predictor_by_operator.get(query.operator, "st")
+            if predictor == "linear":
+                assert self._linear_engine is not None
+                return self._linear_engine
+            return self._st_engine
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def calibrate_predictors(self, object_filters=None, *, max_holdouts: int = 200):
+        """Calibrate the predictor assignment from this run's samples.
+
+        Runs leave-one-out validation on the sampled frames
+        (:func:`repro.core.autopredict.calibrate_predictors`), installs
+        the recommended assignment into this pipeline's config, and
+        returns the calibration record.  No deep-model budget is spent.
+        """
+        from repro.core.autopredict import calibrate_predictors
+
+        require(self._sampling is not None, "fit() must be called first")
+        if object_filters is None:
+            from repro.query.workload import generate_workload
+
+            object_filters = generate_workload(rng=self.config.seed).object_filters()
+        calibration = calibrate_predictors(
+            self.sampling_result,
+            list(object_filters),
+            config=self.config,
+            max_holdouts=max_holdouts,
+        )
+        self.config = calibration.apply_to(self.config)
+        return calibration
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, query) -> str:
+        """Describe how a query would be answered (without running it).
+
+        Reports the parsed form, the predictor assignment (§7.1), the
+        estimated per-query cost from the provider's simulated constants,
+        and whether each referenced count series is already memoized.
+        """
+        require(self._index is not None, "fit() must be called before explain()")
+        if isinstance(query, str):
+            query = parse_query(query)
+        engine = self._engine_for(query)
+        provider = engine.provider
+        if engine is self._st_engine:
+            predictor = "st (motion-predicted index)"
+        elif engine is self._linear_retrieval_engine:
+            predictor = "linear (floored interpolation)"
+        else:
+            predictor = "linear (interpolation)"
+        estimated = provider.simulated_query_cost_per_frame * provider.n_frames
+
+        if isinstance(query, CompoundRetrievalQuery):
+            object_filters = [c.object_filter for c in query.leaf_conditions()]
+        else:
+            object_filters = [query.object_filter]
+        cache = getattr(provider, "_cache", None)
+        if cache is None and hasattr(provider, "index"):
+            cache = provider.index._count_cache
+        lines = [
+            f"query     : {query.describe()}",
+            f"kind      : {type(query).__name__}",
+            f"predictor : {predictor}",
+            f"frames    : {provider.n_frames}",
+            f"est. cost : {estimated:.4f} s (simulated)",
+        ]
+        for object_filter in object_filters:
+            cached = cache is not None and object_filter in cache
+            lines.append(
+                f"filter    : {object_filter.describe()} "
+                f"[count series {'cached' if cached else 'not cached'}]"
+            )
+        assert self._index is not None
+        lines.append(
+            f"index     : {len(self._index.sampled_ids)} sampled frames, "
+            f"{self._index.n_indexed_objects} indexed objects"
+        )
+        return "\n".join(lines)
+
+    @property
+    def sampling_result(self) -> SamplingResult:
+        require(self._sampling is not None, "fit() has not been called")
+        assert self._sampling is not None
+        return self._sampling
+
+    @property
+    def index(self) -> MASTIndex:
+        require(self._index is not None, "fit() has not been called")
+        assert self._index is not None
+        return self._index
+
+    def cost_summary(self) -> dict[str, float]:
+        """Stage -> seconds (simulated + measured) so far."""
+        return self.ledger.summary()

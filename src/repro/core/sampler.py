@@ -1,0 +1,295 @@
+"""Budgeted frame sampling (paper Alg. 2).
+
+:class:`HierarchicalMultiAgentSampler` is MAST's sampler: a uniform pass
+over ``beta * B`` frames initializes the segment tree, then the remaining
+budget is spent by walking UCB decisions to a leaf, sampling its middle
+frame, scoring it with the ST-PC reward (Eq. 1), and splitting the leaf.
+
+The module also defines the shared :class:`BaseSampler` machinery
+(budget accounting, deterministic detection with cost charging, uniform
+pass) that the baselines in :mod:`repro.baselines` reuse, and the
+:class:`SamplingResult` record every sampler produces.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MASTConfig
+from repro.core.reward import count_deviation_reward, st_reward
+from repro.core.segment_tree import SegmentTree
+from repro.core.stpc import analyze_pair
+from repro.data.annotations import ObjectArray
+from repro.data.sequence import FrameSequence
+from repro.models.base import DetectionModel
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import STAGE_MODEL, STAGE_POLICY, CostLedger
+from repro.utils.validation import require, require_in
+
+__all__ = ["SamplingResult", "BaseSampler", "HierarchicalMultiAgentSampler", "uniform_ids"]
+
+
+def uniform_ids(n_frames: int, budget: int) -> np.ndarray:
+    """Equally spaced frame ids including both endpoints (uniform pass).
+
+    The paper's uniform stage samples ``S_u = {P_0, ..., P_|D|}`` with
+    equal interval; including the endpoints guarantees every unsampled
+    frame has sampled neighbours on both sides.
+    """
+    require(n_frames >= 1, "n_frames must be >= 1")
+    budget = max(2, min(int(budget), n_frames))
+    if n_frames == 1:
+        return np.zeros(1, dtype=np.int64)
+    return np.unique(np.round(np.linspace(0, n_frames - 1, budget)).astype(np.int64))
+
+
+@dataclass
+class SamplingResult:
+    """Everything a sampling run produces.
+
+    Attributes
+    ----------
+    sampled_ids:
+        Sorted frame ids processed by the deep model.
+    detections:
+        ``frame_id -> ObjectArray`` raw model output for sampled frames.
+    rewards:
+        Adaptive-phase rewards in sampling order (diagnostics / RQ8).
+    ledger:
+        Cost accounting: simulated deep-model seconds + measured policy
+        seconds.
+    """
+
+    sequence_name: str
+    n_frames: int
+    timestamps: np.ndarray
+    budget: int
+    sampled_ids: np.ndarray
+    detections: dict[int, ObjectArray]
+    rewards: list[float] = field(default_factory=list)
+    ledger: CostLedger = field(default_factory=CostLedger)
+    policy_info: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sampled_ids = np.asarray(self.sampled_ids, dtype=np.int64)
+        self.timestamps = np.asarray(self.timestamps, dtype=float)
+
+    @property
+    def sampling_fraction(self) -> float:
+        """Fraction of the sequence processed by the deep model."""
+        return len(self.sampled_ids) / self.n_frames if self.n_frames else 0.0
+
+    def gaps(self) -> list[tuple[int, int]]:
+        """Adjacent sampled-frame pairs bounding each unsampled run."""
+        ids = self.sampled_ids
+        return [(int(a), int(b)) for a, b in zip(ids[:-1], ids[1:]) if b - a > 1]
+
+
+class BaseSampler(ABC):
+    """Shared budget / detection / uniform-pass machinery for samplers."""
+
+    name: str = "sampler"
+
+    def __init__(self, config: MASTConfig | None = None) -> None:
+        self.config = config or MASTConfig()
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def sample(
+        self,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        *,
+        ledger: CostLedger | None = None,
+    ) -> SamplingResult:
+        """Select and process ``budget`` frames of ``sequence``."""
+
+    # ------------------------------------------------------------------
+    def _detect(
+        self,
+        sequence: FrameSequence,
+        frame_id: int,
+        model: DetectionModel,
+        detections: dict[int, ObjectArray],
+        ledger: CostLedger,
+    ) -> ObjectArray:
+        """Run the deep model on one frame, charging its simulated cost."""
+        if frame_id not in detections:
+            ledger.charge(STAGE_MODEL, model.cost_per_frame)
+            detections[frame_id] = model.detect(sequence[frame_id]).objects
+        return detections[frame_id]
+
+    def _uniform_phase(
+        self,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        budget: int,
+        ledger: CostLedger,
+    ) -> tuple[list[int], dict[int, ObjectArray]]:
+        """Detect the uniform pass and return (sorted ids, detections)."""
+        detections: dict[int, ObjectArray] = {}
+        ids = uniform_ids(len(sequence), budget)
+        for frame_id in ids:
+            self._detect(sequence, int(frame_id), model, detections, ledger)
+        return [int(i) for i in ids], detections
+
+    def _adaptive_reward(
+        self,
+        sequence: FrameSequence,
+        sampled: list[int],
+        detections: dict[int, ObjectArray],
+        frame_id: int,
+        actual: ObjectArray,
+        reward_kind: str,
+    ) -> float:
+        """Reward of newly sampled ``frame_id`` w.r.t. its sampled neighbours.
+
+        ``reward_kind="st"`` computes Eq. 1 against the ST-PC prediction;
+        ``reward_kind="count"`` computes the Seiden-style count-deviation
+        reward against linear interpolation.  ``sampled`` must be sorted
+        and must *not* yet contain ``frame_id``.
+        """
+        config = self.config
+        position = bisect.bisect_left(sampled, frame_id)
+        left = sampled[position - 1] if position > 0 else None
+        right = sampled[position] if position < len(sampled) else None
+        threshold = config.confidence_threshold
+        actual_conf = actual.filter(actual.scores >= threshold)
+        timestamps = sequence.timestamps
+
+        if left is None or right is None:
+            # Endpoint regions: the uniform pass covers both ends, so this
+            # only occurs in tiny sequences.  Reward content directly.
+            return float(len(actual_conf)) * config.c_var
+
+        if reward_kind == "count":
+            left_n = _confident_count(detections[left], threshold)
+            right_n = _confident_count(detections[right], threshold)
+            interpolated = left_n + (right_n - left_n) * (
+                (timestamps[frame_id] - timestamps[left])
+                / (timestamps[right] - timestamps[left])
+            )
+            return count_deviation_reward(len(actual_conf), interpolated)
+
+        estimate = analyze_pair(
+            detections[left],
+            detections[right],
+            float(timestamps[left]),
+            float(timestamps[right]),
+            max_distance=config.match_max_distance,
+        )
+        predicted = estimate.predict(float(timestamps[frame_id]))
+        predicted_conf = predicted.filter(predicted.scores >= threshold)
+        return st_reward(
+            predicted_conf,
+            actual_conf,
+            d_max=config.d_max,
+            c_var=config.c_var,
+            max_distance=config.match_max_distance,
+        )
+
+
+class HierarchicalMultiAgentSampler(BaseSampler):
+    """MAST's sampler — hierarchical multi-agent UCB over a segment tree.
+
+    ``reward_kind`` selects the adaptive reward:
+
+    * ``"st"`` (default) — Eq. 1, the ST-PC deviation reward;
+    * ``"count"`` — the Seiden-style count-deviation reward, giving the
+      MAST-noST ablation of RQ7.
+    """
+
+    name = "mast"
+
+    def __init__(
+        self, config: MASTConfig | None = None, *, reward_kind: str = "st"
+    ) -> None:
+        super().__init__(config)
+        require_in(reward_kind, ("st", "count"), "reward_kind")
+        self.reward_kind = reward_kind
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        *,
+        ledger: CostLedger | None = None,
+    ) -> SamplingResult:
+        config = self.config
+        ledger = ledger if ledger is not None else CostLedger()
+        n_frames = len(sequence)
+        budget = config.budget_for(n_frames)
+        uniform_budget = config.uniform_budget_for(budget)
+
+        sampled, detections = self._uniform_phase(
+            sequence, model, uniform_budget, ledger
+        )
+        if len(sampled) < 2:
+            # Degenerate sequence (single frame): nothing to adapt over.
+            return SamplingResult(
+                sequence_name=sequence.name,
+                n_frames=n_frames,
+                timestamps=sequence.timestamps,
+                budget=budget,
+                sampled_ids=np.asarray(sampled, dtype=np.int64),
+                detections=detections,
+                ledger=ledger,
+                policy_info={"sampler": self.name, "reward_kind": self.reward_kind},
+            )
+        rng = ensure_rng(config.seed, "sampler", sequence.name)
+        tree = SegmentTree(
+            sampled,
+            branching=config.branching,
+            max_depth=config.max_depth,
+            ucb_c=config.ucb_c,
+            alpha_r=config.alpha_r,
+            rng=rng,
+        )
+
+        sampled_set = set(sampled)
+        rewards: list[float] = []
+        remaining = budget - len(sampled)
+        while remaining > 0:
+            with ledger.measure(STAGE_POLICY):
+                selection = tree.select(sampled_set.__contains__)
+            if selection is None:
+                break  # every segment exhausted (budget ~ sequence length)
+            path, frame_id = selection
+            actual = self._detect(sequence, frame_id, model, detections, ledger)
+            with ledger.measure(STAGE_POLICY):
+                reward = self._adaptive_reward(
+                    sequence, sampled, detections, frame_id, actual, self.reward_kind
+                )
+                tree.record(path, frame_id, reward)
+                bisect.insort(sampled, frame_id)
+                sampled_set.add(frame_id)
+                rewards.append(reward)
+            remaining -= 1
+
+        return SamplingResult(
+            sequence_name=sequence.name,
+            n_frames=n_frames,
+            timestamps=sequence.timestamps,
+            budget=budget,
+            sampled_ids=np.asarray(sampled, dtype=np.int64),
+            detections=detections,
+            rewards=rewards,
+            ledger=ledger,
+            policy_info={
+                "sampler": self.name,
+                "reward_kind": self.reward_kind,
+                "tree_depth": tree.depth_reached(),
+                "tree_nodes": tree.n_nodes(),
+                "tree_leaves": len(tree.leaves()),
+            },
+        )
+
+
+def _confident_count(objects: ObjectArray, threshold: float) -> int:
+    """Number of detections at or above the confidence threshold."""
+    return int(np.count_nonzero(objects.scores >= threshold))

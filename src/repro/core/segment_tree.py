@@ -1,0 +1,273 @@
+"""The segment tree of hierarchical multi-agent sampling (paper §5.1).
+
+The tree models the branching decision process: the root covers the
+whole sequence, its children are the segments produced by the uniform
+pass, and every adaptive sample splits the chosen leaf into
+``branching`` sub-segments, assigning a fresh UCB decision to the node.
+Selection walks UCB choices from the root to a leaf; the leaf yields the
+middle unsampled frame of its range (or a random one once ``max_depth``
+is exceeded, per the paper's depth cap).
+
+Nodes cover half-open ranges ``(lo, hi]``: a node's candidate frames are
+``lo+1 .. hi`` (frames the sampler may still pick), which makes sibling
+ranges partition the parent exactly — even for k-ary splits whose
+internal boundaries are not themselves sampled.  Already-sampled frames
+(the uniform pass, binary split points) are excluded dynamically via the
+``is_sampled`` callback.  Exhausted subtrees (no unsampled candidate
+left) are pruned from selection so high budgets terminate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core.bandit import ucb_score
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+__all__ = ["SegmentNode", "SegmentTree"]
+
+IsSampled = Callable[[int], bool]
+
+
+class SegmentNode:
+    """One segment ``(lo, hi)`` with its bandit statistics."""
+
+    __slots__ = ("lo", "hi", "depth", "children", "reward", "visits", "exhausted")
+
+    def __init__(self, lo: int, hi: int, depth: int) -> None:
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.depth = int(depth)
+        self.children: list[SegmentNode] | None = None
+        self.reward = 0.0
+        self.visits = 0
+        #: True once no unsampled candidate frame remains in the subtree.
+        #: Leaves whose candidates are all sampled are detected (and
+        #: flagged) lazily during selection.
+        self.exhausted = self.hi <= self.lo
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def interior_size(self) -> int:
+        """Number of candidate frames in the segment's ``(lo, hi]`` range."""
+        return max(0, self.hi - self.lo)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SegmentNode(({self.lo}, {self.hi}), depth={self.depth}, "
+            f"reward={self.reward:.3f}, visits={self.visits})"
+        )
+
+
+class SegmentTree:
+    """Hierarchical UCB policy over a frame-id range."""
+
+    def __init__(
+        self,
+        boundaries: list[int] | np.ndarray,
+        *,
+        branching: int = 2,
+        max_depth: int = 10,
+        ucb_c: float = 2.0,
+        alpha_r: float = 0.3,
+        rng=None,
+    ) -> None:
+        boundaries = [int(b) for b in boundaries]
+        require(len(boundaries) >= 2, "need at least two segment boundaries")
+        require(
+            boundaries == sorted(set(boundaries)),
+            "boundaries must be strictly increasing",
+        )
+        require(branching >= 2, f"branching must be >= 2, got {branching}")
+        require(max_depth >= 1, f"max_depth must be >= 1, got {max_depth}")
+        self.branching = int(branching)
+        self.max_depth = int(max_depth)
+        self.ucb_c = float(ucb_c)
+        self.alpha_r = float(alpha_r)
+        self._rng = ensure_rng(rng, "segment_tree")
+
+        self.root = SegmentNode(boundaries[0], boundaries[-1], depth=0)
+        self.root.children = [
+            SegmentNode(lo, hi, depth=1)
+            for lo, hi in zip(boundaries[:-1], boundaries[1:])
+        ]
+        self._refresh_exhausted(self.root)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self, is_sampled: IsSampled) -> tuple[list[SegmentNode], int] | None:
+        """Walk UCB decisions to a leaf and pick its next frame.
+
+        Returns ``(path, frame_id)`` where ``path`` runs from the root to
+        the chosen leaf, or ``None`` when every segment is exhausted.
+        Discovering that a leaf has no unsampled frame marks it exhausted
+        and retries, so a returned frame is always fresh.
+        """
+        while not self.root.exhausted:
+            path = [self.root]
+            node = self.root
+            while node.children is not None:
+                node = self._select_child(node)
+                path.append(node)
+            frame_id = self._pick_frame(node, is_sampled)
+            if frame_id is not None:
+                return path, frame_id
+            node.exhausted = True
+            self._propagate_exhaustion(path)
+        return None
+
+    def _select_child(self, node: SegmentNode) -> SegmentNode:
+        children = node.children
+        assert children is not None
+        values = np.array(
+            [
+                ucb_score(child.reward, child.visits, node.visits, self.ucb_c)
+                if not child.exhausted
+                else -math.inf
+                for child in children
+            ]
+        )
+        best = np.flatnonzero(values == values.max())
+        if not len(best) or values.max() == -math.inf:
+            raise RuntimeError(
+                "selection descended into a fully exhausted node; "
+                "exhaustion propagation is broken"
+            )
+        return children[int(self._rng.choice(best))]
+
+    def _pick_frame(self, leaf: SegmentNode, is_sampled: IsSampled) -> int | None:
+        """Choose the next frame in a leaf, or ``None`` if it is spent.
+
+        Below the depth cap the leaf yields the frame nearest its middle
+        that is still unsampled ("we select the middle PC frame");
+        at the cap it samples uniformly among unsampled frames (§5.1).
+        Candidates come from the node's ``(lo, hi]`` range.
+        """
+        lo, hi = leaf.lo, leaf.hi
+        if hi <= lo:
+            return None
+        if leaf.depth >= self.max_depth:
+            candidates = [f for f in range(lo + 1, hi + 1) if not is_sampled(f)]
+            if not candidates:
+                return None
+            return int(self._rng.choice(candidates))
+        middle = (lo + hi) // 2
+        for offset in range(hi - lo + 1):
+            for candidate in (middle - offset, middle + offset):
+                if lo < candidate <= hi and not is_sampled(candidate):
+                    return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def record(self, path: list[SegmentNode], frame_id: int, reward: float) -> None:
+        """Split the sampled leaf and back up the reward along the path.
+
+        Implements the per-step bookkeeping of Alg. 2 (lines 15-16):
+        binary (or k-ary) splitting of the chosen leaf, then the Eq. 2
+        EMA update of every node on the root-to-leaf path.
+        """
+        require(bool(path) and path[0] is self.root, "path must start at the root")
+        leaf = path[-1]
+        if leaf.is_leaf and leaf.depth < self.max_depth:
+            self._split(leaf, frame_id)
+        for node in path:
+            node.visits += 1
+            node.reward = (1.0 - self.alpha_r) * node.reward + self.alpha_r * reward
+        self._propagate_exhaustion(path)
+
+    def _split(self, leaf: SegmentNode, frame_id: int) -> None:
+        lo, hi = leaf.lo, leaf.hi
+        if self.branching == 2:
+            boundaries = [lo, frame_id, hi]
+        else:
+            raw = np.linspace(lo, hi, self.branching + 1)
+            boundaries = sorted(set(int(round(b)) for b in raw))
+        if len(boundaries) < 3:
+            return  # segment too short to split; stays a leaf
+        leaf.children = [
+            SegmentNode(a, b, depth=leaf.depth + 1)
+            for a, b in zip(boundaries[:-1], boundaries[1:])
+        ]
+
+    def _propagate_exhaustion(self, path: list[SegmentNode]) -> None:
+        for node in reversed(path):
+            if node.children is not None:
+                node.exhausted = all(child.exhausted for child in node.children)
+
+    def _refresh_exhausted(self, node: SegmentNode) -> None:
+        if node.children is not None:
+            for child in node.children:
+                self._refresh_exhausted(child)
+            node.exhausted = all(child.exhausted for child in node.children)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def leaves(self) -> list[SegmentNode]:
+        """All current leaf segments, left to right."""
+        out: list[SegmentNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.children is None:
+                out.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return out
+
+    def depth_reached(self) -> int:
+        """Deepest node depth currently in the tree."""
+        best = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            best = max(best, node.depth)
+            if node.children is not None:
+                stack.extend(node.children)
+        return best
+
+    def n_nodes(self) -> int:
+        """Total node count."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.children is not None:
+                stack.extend(node.children)
+        return count
+
+    def add_root_segments(self, boundaries: list[int]) -> None:
+        """Append new top-level segments (batched data arrival).
+
+        ``boundaries`` must start at or after the current root range end.
+        Used by :meth:`repro.core.pipeline.MASTPipeline.extend`.
+        """
+        boundaries = [int(b) for b in boundaries]
+        require(len(boundaries) >= 2, "need at least two boundaries")
+        require(
+            boundaries == sorted(set(boundaries)),
+            "boundaries must be strictly increasing",
+        )
+        require(
+            boundaries[0] >= self.root.hi,
+            f"new segments must start at/after the root range end "
+            f"({self.root.hi}), got {boundaries[0]}",
+        )
+        assert self.root.children is not None
+        self.root.children.extend(
+            SegmentNode(lo, hi, depth=1)
+            for lo, hi in zip(boundaries[:-1], boundaries[1:])
+        )
+        self.root.hi = boundaries[-1]
+        self.root.exhausted = all(c.exhausted for c in self.root.children)

@@ -1,0 +1,184 @@
+"""Standing queries over periodically arriving batches.
+
+Problem 1's setting is a server where "PC data periodically arrive".
+:class:`StreamingMonitor` operationalizes it: register standing queries
+once, feed batches as they arrive, and get per-batch snapshots of every
+standing answer plus a simple drift signal (how far the newest batch's
+count level departs from the history).  Internally each batch goes
+through :meth:`MASTPipeline.extend`, so history is never re-processed by
+the deep model — the marginal cost of a batch is its own sampling budget.
+
+This is the streaming-aggregation use case of Russo et al. [36] in the
+paper's related work, built on MAST's machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MASTConfig
+from repro.core.pipeline import MASTPipeline
+from repro.data.frame import PointCloudFrame
+from repro.data.sequence import FrameSequence
+from repro.models.base import DetectionModel
+from repro.query.ast import AggregateQuery, CompoundRetrievalQuery, RetrievalQuery
+from repro.query.parser import parse_query
+from repro.utils.validation import require, require_positive
+
+__all__ = ["BatchSnapshot", "StreamingMonitor"]
+
+
+@dataclass(frozen=True)
+class BatchSnapshot:
+    """State of the standing queries after one batch."""
+
+    batch_index: int
+    n_frames_total: int
+    n_frames_batch: int
+    #: Query text -> current answer (cardinality for retrieval queries,
+    #: value for aggregates).
+    answers: dict
+    #: Query text -> answer restricted to the new batch's frames
+    #: (retrieval count in the batch; aggregates recomputed over it).
+    batch_answers: dict
+    #: Query text -> drift z-score of the batch answer against the
+    #: history of previous batch answers (nan until 2+ batches).
+    drift: dict
+    #: Cumulative simulated deep-model seconds spent so far.
+    model_seconds: float
+
+    def drifting(self, threshold: float = 3.0) -> list[str]:
+        """Standing queries whose batch-level answer drifted beyond
+        ``threshold`` standard deviations of their history.
+
+        An infinite z-score (a change after a perfectly constant
+        history) always counts as drift; ``nan`` (not enough history)
+        never does.
+        """
+        return [
+            text
+            for text, score in self.drift.items()
+            if not np.isnan(score) and abs(score) > threshold
+        ]
+
+
+class StreamingMonitor:
+    """Maintains standing queries over a growing sequence.
+
+    Usage::
+
+        monitor = StreamingMonitor(model, config)
+        monitor.register("SELECT AVG OF COUNT(Car DIST <= 10)")
+        monitor.register("SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3")
+        snapshot = monitor.start(first_batch_sequence)
+        snapshot = monitor.ingest(next_batch_frames)   # per upload
+    """
+
+    def __init__(
+        self, model: DetectionModel, config: MASTConfig | None = None
+    ) -> None:
+        self.model = model
+        self.config = config or MASTConfig()
+        self.pipeline: MASTPipeline | None = None
+        self._queries: dict[str, object] = {}
+        self._batch_history: dict[str, list[float]] = {}
+        self._batch_index = 0
+        self._previous_n_frames = 0
+
+    # ------------------------------------------------------------------
+    def register(self, query) -> None:
+        """Add a standing query (text or query object)."""
+        if isinstance(query, str):
+            parsed = parse_query(query)
+        else:
+            parsed = query
+        require(
+            isinstance(
+                parsed, (RetrievalQuery, CompoundRetrievalQuery, AggregateQuery)
+            ),
+            f"unsupported standing query type {type(parsed).__name__}",
+        )
+        text = parsed.describe()
+        self._queries[text] = parsed
+        self._batch_history.setdefault(text, [])
+
+    @property
+    def standing_queries(self) -> list[str]:
+        """Registered standing-query texts."""
+        return list(self._queries)
+
+    # ------------------------------------------------------------------
+    def start(self, sequence: FrameSequence) -> BatchSnapshot:
+        """Fit on the first batch and produce the first snapshot."""
+        require(self.pipeline is None, "start() may only be called once")
+        require(bool(self._queries), "register standing queries before start()")
+        self.pipeline = MASTPipeline(self.config).fit(sequence, self.model)
+        self._previous_n_frames = 0
+        return self._snapshot(len(sequence))
+
+    def ingest(self, frames: list[PointCloudFrame]) -> BatchSnapshot:
+        """Extend with a new batch and produce its snapshot."""
+        require(self.pipeline is not None, "start() must be called first")
+        require_positive(len(frames), "batch size")
+        assert self.pipeline is not None
+        self.pipeline.extend(frames, model=self.model)
+        return self._snapshot(len(frames))
+
+    # ------------------------------------------------------------------
+    def _snapshot(self, n_batch: int) -> BatchSnapshot:
+        assert self.pipeline is not None
+        pipeline = self.pipeline
+        n_total = pipeline.sampling_result.n_frames
+        batch_start = n_total - n_batch
+
+        answers: dict = {}
+        batch_answers: dict = {}
+        drift: dict = {}
+        for text, query in self._queries.items():
+            result = pipeline.query(query)
+            if isinstance(query, AggregateQuery):
+                answers[text] = float(result.value)
+                counts = result.counts
+                if counts is None or len(counts) != n_total:
+                    batch_value = float(result.value)
+                else:
+                    from repro.query.aggregates import aggregate
+
+                    batch_value = float(
+                        aggregate(
+                            query.operator,
+                            counts[batch_start:],
+                            query.count_predicate,
+                        )
+                    )
+            else:
+                answers[text] = float(result.cardinality)
+                batch_value = float(
+                    np.count_nonzero(result.frame_ids >= batch_start)
+                )
+            batch_answers[text] = batch_value
+
+            history = self._batch_history[text]
+            if len(history) >= 2:
+                spread = float(np.std(history))
+                center = float(np.mean(history))
+                drift[text] = (
+                    (batch_value - center) / spread if spread > 1e-12
+                    else (0.0 if batch_value == center else float("inf"))
+                )
+            else:
+                drift[text] = float("nan")
+            history.append(batch_value)
+
+        self._batch_index += 1
+        return BatchSnapshot(
+            batch_index=self._batch_index,
+            n_frames_total=n_total,
+            n_frames_batch=n_batch,
+            answers=answers,
+            batch_answers=batch_answers,
+            drift=drift,
+            model_seconds=pipeline.ledger.total("deep_model"),
+        )

@@ -1,0 +1,23 @@
+"""Data substrate: frames, sequences, the point-cloud database, persistence."""
+
+from repro.data.annotations import ObjectArray
+from repro.data.database import PointCloudDatabase
+from repro.data.frame import PointCloudFrame
+from repro.data.sequence import FrameSequence
+from repro.data.storage import (
+    load_detections,
+    load_sequence,
+    save_detections,
+    save_sequence,
+)
+
+__all__ = [
+    "FrameSequence",
+    "ObjectArray",
+    "PointCloudDatabase",
+    "PointCloudFrame",
+    "load_detections",
+    "load_sequence",
+    "save_detections",
+    "save_sequence",
+]

@@ -1,0 +1,82 @@
+"""The point-cloud database of Problem 1.
+
+The paper's setting is "a database :math:`\\mathcal{D}` of PC frames"
+where "PC data periodically arrive at the server" in batches, grouped
+into per-sensor sequences.  :class:`PointCloudDatabase` is that catalog:
+it owns named sequences, accepts batched appends, and hands sequences to
+the sampling/query pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.data.frame import PointCloudFrame
+from repro.data.sequence import FrameSequence
+from repro.utils.validation import require
+
+__all__ = ["PointCloudDatabase"]
+
+
+class PointCloudDatabase:
+    """A named collection of frame sequences with batched ingestion."""
+
+    def __init__(self) -> None:
+        self._sequences: dict[str, FrameSequence] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, sequence: FrameSequence) -> None:
+        """Register a complete sequence under its name."""
+        require(
+            sequence.name not in self._sequences,
+            f"a sequence named {sequence.name!r} already exists; use "
+            f"ingest_batch to append frames",
+        )
+        self._sequences[sequence.name] = sequence
+
+    def ingest_batch(self, name: str, frames: list[PointCloudFrame]) -> FrameSequence:
+        """Append a new batch of frames to an existing sequence.
+
+        Returns the extended sequence.  This models periodic arrival:
+        each upload from a vehicle extends its sequence, and downstream
+        pipelines can resample incrementally (see
+        :meth:`repro.core.pipeline.MASTPipeline.extend`).
+        """
+        require(name in self._sequences, f"unknown sequence {name!r}")
+        extended = self._sequences[name].extended(frames)
+        self._sequences[name] = extended
+        return extended
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> FrameSequence:
+        """Return the sequence registered under ``name``."""
+        require(name in self._sequences, f"unknown sequence {name!r}")
+        return self._sequences[name]
+
+    def names(self) -> list[str]:
+        """All registered sequence names, sorted."""
+        return sorted(self._sequences)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sequences
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[FrameSequence]:
+        return iter(self._sequences.values())
+
+    @property
+    def total_frames(self) -> int:
+        """Total number of frames across all sequences."""
+        return sum(len(seq) for seq in self._sequences.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PointCloudDatabase(sequences={len(self)}, "
+            f"total_frames={self.total_frames})"
+        )

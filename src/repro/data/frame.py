@@ -1,0 +1,95 @@
+"""Point-cloud frames.
+
+A frame (paper §2.2) is ``P = (points, t)``: a set of 3-D points plus a
+capture timestamp.  Our frames additionally carry the ego pose (needed to
+place actors in the sensor frame) and the ground-truth annotations that
+the *simulated* deep models corrupt into detections — mirroring how the
+real datasets ship LiDAR sweeps alongside labelled boxes.
+
+Raw points are expensive (tens of thousands of floats per frame) and the
+query pipeline only ever touches them through a detector, so they are
+materialized lazily from a provider callback and cached on request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.annotations import ObjectArray
+from repro.geometry.transforms import Pose2D
+
+__all__ = ["PointCloudFrame"]
+
+PointsProvider = Callable[[], np.ndarray]
+
+
+@dataclass(eq=False)
+class PointCloudFrame:
+    """One LiDAR sweep with timestamp, ego pose and annotations.
+
+    Attributes
+    ----------
+    frame_id:
+        Position of the frame in its sequence (0-based, contiguous).
+    timestamp:
+        Capture time in seconds since the start of the sequence.
+    ego_pose:
+        World-frame pose of the sensor when the sweep was captured.
+    ground_truth:
+        Annotated objects in the sensor frame.  Simulated detectors read
+        these; query code never does (it only sees detector output).
+    """
+
+    frame_id: int
+    timestamp: float
+    ego_pose: Pose2D
+    ground_truth: ObjectArray
+    _points_provider: PointsProvider | None = field(default=None, repr=False)
+    _points_cache: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.frame_id < 0:
+            raise ValueError(f"frame_id must be non-negative, got {self.frame_id}")
+        if not np.isfinite(self.timestamp):
+            raise ValueError(f"timestamp must be finite, got {self.timestamp!r}")
+
+    @property
+    def points(self) -> np.ndarray:
+        """The ``(N, 3)`` sensor-frame point cloud (generated on demand)."""
+        if self._points_cache is None:
+            if self._points_provider is None:
+                self._points_cache = np.zeros((0, 3))
+            else:
+                pts = np.asarray(self._points_provider(), dtype=float)
+                if pts.ndim != 2 or pts.shape[1] != 3:
+                    raise ValueError(
+                        f"points provider must return shape (N, 3), got {pts.shape}"
+                    )
+                self._points_cache = pts
+        return self._points_cache
+
+    @property
+    def has_points(self) -> bool:
+        """Whether a real point cloud is available for this frame."""
+        if self._points_provider is not None:
+            return True
+        return self._points_cache is not None and len(self._points_cache) > 0
+
+    def drop_point_cache(self) -> None:
+        """Release cached points (they can be regenerated from the provider)."""
+        if self._points_provider is not None:
+            self._points_cache = None
+
+    @property
+    def n_objects(self) -> int:
+        """Number of annotated objects in this frame."""
+        return len(self.ground_truth)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PointCloudFrame(id={self.frame_id}, t={self.timestamp:.2f}s, "
+            f"objects={self.n_objects})"
+        )

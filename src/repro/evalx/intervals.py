@@ -1,0 +1,120 @@
+"""Confidence intervals for aggregate answers (paper §6.2).
+
+"The error bounds are possible to be applied to provide a specific
+confidence interval if the empirical value of L_y is provided.  Then,
+the numerical bound could be computed based on the sample result and
+L_y."  This module does exactly that: given a sampling result and an
+aggregate query, it estimates (or accepts) the Lipschitz constant of the
+query's count signal, evaluates the matching Thm 6.1 bound, and returns
+``value ± bound``.
+
+The Lipschitz constant estimated from sampled slopes is a *lower* bound
+of the true one, so a ``safety`` multiplier (default 1.5) widens it;
+callers with domain knowledge can pass an explicit ``lipschitz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampler import SamplingResult
+from repro.evalx.bounds import compute_error_bounds, estimate_lipschitz
+from repro.query.ast import AggregateQuery
+from repro.utils.validation import require, require_positive
+
+__all__ = ["ConfidenceInterval", "aggregate_interval", "SUPPORTED_OPERATORS"]
+
+#: Operators with a Thm 6.1 bound.
+SUPPORTED_OPERATORS = ("Avg", "Med", "Count")
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """``value`` with its Thm 6.1 error band."""
+
+    value: float
+    low: float
+    high: float
+    bound: float
+    lipschitz: float
+    operator: str
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, truth: float) -> bool:
+        """Whether a reference value lies inside the interval."""
+        return self.low <= truth <= self.high
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConfidenceInterval({self.operator}: {self.value:.3f} in "
+            f"[{self.low:.3f}, {self.high:.3f}], L={self.lipschitz:.3f})"
+        )
+
+
+def aggregate_interval(
+    sampling: SamplingResult,
+    query: AggregateQuery,
+    value: float,
+    *,
+    lipschitz: float | None = None,
+    safety: float = 1.5,
+) -> ConfidenceInterval:
+    """Attach the Thm 6.1 error band to an aggregate answer.
+
+    Parameters
+    ----------
+    sampling:
+        The sampling result whose detections answered the query.
+    query:
+        The aggregate query (operator must be Avg, Med or Count).
+    value:
+        The approximate answer produced by the engine.
+    lipschitz:
+        Empirical Lipschitz constant of the count signal in
+        counts-per-frame-step; estimated from the sampled signal
+        (times ``safety``) when omitted.
+    """
+    require(
+        query.operator in SUPPORTED_OPERATORS,
+        f"Thm 6.1 covers {SUPPORTED_OPERATORS}; got {query.operator!r}",
+    )
+    require_positive(safety, "safety")
+
+    sampled_ids = sampling.sampled_ids
+    y_sampled = np.array(
+        [
+            query.object_filter.count(sampling.detections[int(frame_id)])
+            for frame_id in sampled_ids
+        ],
+        dtype=float,
+    )
+    if lipschitz is None:
+        estimated = estimate_lipschitz(y_sampled, sampled_ids.astype(float))
+        lipschitz = max(estimated, 1e-9) * safety
+
+    bounds = compute_error_bounds(
+        y_sampled, sampled_ids, sampling.n_frames, lipschitz=lipschitz
+    )
+    if query.operator == "Avg":
+        bound = bounds.avg_bound
+    elif query.operator == "Med":
+        bound = bounds.med_bound
+    else:  # Count — the bound is on the *normalized* count error.
+        bound = bounds.count_bound * sampling.n_frames
+
+    low = value - bound
+    if query.operator in ("Avg", "Med", "Count"):
+        low = max(low, 0.0)  # counts are non-negative
+    return ConfidenceInterval(
+        value=float(value),
+        low=float(low),
+        high=float(value + bound),
+        bound=float(bound),
+        lipschitz=float(lipschitz),
+        operator=query.operator,
+    )

@@ -1,0 +1,72 @@
+"""Evaluation metrics (paper §7.1).
+
+* **F1 score** for retrieval queries, with the Oracle method's result
+  set as ground truth;
+* **aggregate accuracy** ``1 - |gt - pred| / gt`` for aggregate queries.
+
+Both treat the Oracle's answers (full deep-model processing) as truth,
+exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "precision_recall_f1",
+    "f1_score",
+    "aggregate_accuracy",
+    "selectivity",
+]
+
+
+def _as_id_set(ids) -> set[int]:
+    if isinstance(ids, set):
+        return ids
+    return set(int(i) for i in np.asarray(ids).ravel())
+
+
+def precision_recall_f1(predicted_ids, true_ids) -> tuple[float, float, float]:
+    """Precision, recall and F1 of a predicted frame-id set.
+
+    Follows the paper's conventions: when the true set is empty, any
+    prediction is all false positives (precision 0 unless also empty);
+    an empty prediction against an empty truth scores a perfect 1.0.
+    """
+    predicted = _as_id_set(predicted_ids)
+    truth = _as_id_set(true_ids)
+    if not predicted and not truth:
+        return 1.0, 1.0, 1.0
+    true_positive = len(predicted & truth)
+    precision = true_positive / len(predicted) if predicted else 0.0
+    recall = true_positive / len(truth) if truth else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def f1_score(predicted_ids, true_ids) -> float:
+    """F1 of a predicted frame-id set against the truth set."""
+    return precision_recall_f1(predicted_ids, true_ids)[2]
+
+
+def aggregate_accuracy(predicted: float, truth: float) -> float:
+    """``1 - |truth - predicted| / truth``, clamped to ``[0, 1]``.
+
+    A zero ground truth is handled as an exact-match test (accuracy 1.0
+    only when the prediction is also 0), since the paper's relative
+    formula is undefined there.
+    """
+    predicted = float(predicted)
+    truth = float(truth)
+    if truth == 0.0:
+        return 1.0 if predicted == 0.0 else 0.0
+    return float(np.clip(1.0 - abs(truth - predicted) / abs(truth), 0.0, 1.0))
+
+
+def selectivity(cardinality: int, n_frames: int) -> float:
+    """Fraction of frames a retrieval query returns."""
+    if n_frames <= 0:
+        raise ValueError(f"n_frames must be positive, got {n_frames}")
+    return cardinality / n_frames

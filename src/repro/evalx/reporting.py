@@ -1,0 +1,71 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+Every bench prints the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent (column alignment,
+percent formatting, ASCII series for figure-style data).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series", "format_percent", "format_seconds"]
+
+
+def format_percent(value: float, digits: int = 3) -> str:
+    """``93.475`` style percentages as the paper's tables print them."""
+    return f"{value:.{digits}f}"
+
+
+def format_seconds(value: float) -> str:
+    """Seconds with adaptive precision."""
+    if value >= 100:
+        return f"{value:.1f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence, *, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render figure-style (x, y) series as aligned text."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)

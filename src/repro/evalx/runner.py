@@ -1,0 +1,239 @@
+"""Experiment runner: run methods on a sequence and score against Oracle.
+
+This is the harness behind every table and figure bench.  One call to
+:func:`run_experiment`:
+
+1. runs the Oracle (full deep-model processing) and answers the whole
+   workload exactly;
+2. drops retrieval queries whose oracle cardinality is zero (paper §7.1:
+   "we omit the generated retrieval queries with a cardinality of 0");
+3. for each method spec, runs its sampler, builds whatever providers its
+   predictor assignment needs, answers the same workload, and scores
+   F1 / aggregate accuracy against the Oracle's answers;
+4. returns a structured report with per-query metrics and cost ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.oracle import OracleCountProvider
+from repro.baselines.variants import PAPER_METHODS, MethodSpec
+from repro.core.config import MASTConfig
+from repro.core.index import LinearCountProvider, MASTIndex, STCountProvider
+from repro.core.sampler import SamplingResult
+from repro.data.sequence import FrameSequence
+from repro.evalx.metrics import aggregate_accuracy, f1_score
+from repro.models.base import DetectionModel
+from repro.query.ast import AggregateQuery, CompoundRetrievalQuery, RetrievalQuery
+from repro.query.engine import QueryEngine
+from repro.query.workload import QueryWorkload
+from repro.utils.timing import CostLedger
+
+__all__ = [
+    "QueryEvaluation",
+    "MethodReport",
+    "ExperimentReport",
+    "MethodExecutor",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Scored outcome of one query for one method."""
+
+    query_text: str
+    kind: str  # "retrieval" or the aggregate operator name
+    metric: float  # F1 (retrieval) or aggregate accuracy
+    oracle_value: float  # cardinality (retrieval) or aggregate value
+    predicted_value: float
+    selectivity: float | None = None
+
+
+@dataclass
+class MethodReport:
+    """All per-query outcomes of one method on one sequence."""
+
+    method: str
+    sequence: str
+    retrieval: list[QueryEvaluation] = field(default_factory=list)
+    aggregates: list[QueryEvaluation] = field(default_factory=list)
+    ledger: CostLedger = field(default_factory=CostLedger)
+    sampling: SamplingResult | None = None
+
+    @property
+    def mean_retrieval_f1(self) -> float:
+        if not self.retrieval:
+            return float("nan")
+        return sum(e.metric for e in self.retrieval) / len(self.retrieval)
+
+    def aggregate_accuracy_by_operator(self) -> dict[str, float]:
+        """Mean aggregate accuracy per operator (in percent, like Tbl 4)."""
+        buckets: dict[str, list[float]] = {}
+        for evaluation in self.aggregates:
+            buckets.setdefault(evaluation.kind, []).append(evaluation.metric)
+        return {
+            operator: 100.0 * sum(values) / len(values)
+            for operator, values in sorted(buckets.items())
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """Results of all methods on one (sequence, model) pair."""
+
+    sequence: str
+    model: str
+    n_frames: int
+    oracle_ledger: CostLedger
+    methods: dict[str, MethodReport]
+    n_retrieval_queries: int
+    n_aggregate_queries: int
+
+    def __getitem__(self, method_name: str) -> MethodReport:
+        return self.methods[method_name]
+
+
+class MethodExecutor:
+    """Answers queries for one method spec.
+
+    Construction runs the method's sampling (or the full Oracle pass) and
+    builds the providers its predictor assignment requires.
+    """
+
+    def __init__(
+        self,
+        spec: MethodSpec,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        config: MASTConfig,
+        *,
+        oracle_provider: OracleCountProvider | None = None,
+    ) -> None:
+        self.spec = spec
+        self.ledger = CostLedger()
+        self.sampling: SamplingResult | None = None
+
+        if spec.is_oracle:
+            provider = oracle_provider or OracleCountProvider(
+                sequence, model, ledger=self.ledger
+            )
+            if oracle_provider is not None:
+                self.ledger.merge(oracle_provider.ledger)
+            engine = QueryEngine(provider, ledger=self.ledger)
+            self._retrieval_engine = engine
+            self._engines_by_operator = {}
+            self._default_engine = engine
+            return
+
+        sampler = spec.make_sampler(config)
+        self.sampling = sampler.sample(sequence, model, ledger=self.ledger)
+
+        st_engine = None
+        if spec.needs_st_index():
+            index = MASTIndex.build(self.sampling, config, ledger=self.ledger)
+            st_engine = QueryEngine(STCountProvider(index), ledger=self.ledger)
+            self.index = index
+        linear = LinearCountProvider(self.sampling)
+        linear_engine = QueryEngine(linear, ledger=self.ledger)
+        linear_retrieval_engine = QueryEngine(linear.quantized(), ledger=self.ledger)
+
+        self._retrieval_engine = (
+            st_engine if spec.retrieval_predictor == "st" else linear_retrieval_engine
+        )
+        self._engines_by_operator = {
+            operator: (st_engine if predictor == "st" else linear_engine)
+            for operator, predictor in spec.predictor_by_operator.items()
+        }
+        self._default_engine = st_engine or linear_engine
+
+    # ------------------------------------------------------------------
+    def execute(self, query):
+        """Answer one query with the spec's predictor assignment."""
+        if isinstance(query, (RetrievalQuery, CompoundRetrievalQuery)):
+            return self._retrieval_engine.execute(query)
+        if isinstance(query, AggregateQuery):
+            engine = self._engines_by_operator.get(
+                query.operator, self._default_engine
+            )
+            return engine.execute(query)
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+
+def run_experiment(
+    sequence: FrameSequence,
+    model: DetectionModel,
+    workload: QueryWorkload,
+    *,
+    methods: tuple[MethodSpec, ...] = PAPER_METHODS,
+    config: MASTConfig | None = None,
+) -> ExperimentReport:
+    """Run ``methods`` on ``sequence`` and score them against the Oracle."""
+    config = config or MASTConfig()
+
+    oracle_ledger = CostLedger()
+    oracle_provider = OracleCountProvider(sequence, model, ledger=oracle_ledger)
+    oracle_engine = QueryEngine(oracle_provider, ledger=oracle_ledger)
+
+    # Oracle answers; drop zero-cardinality retrieval queries (§7.1).
+    retrieval_queries = []
+    oracle_retrieval = []
+    for query in workload.retrieval:
+        result = oracle_engine.execute(query)
+        if result.cardinality > 0:
+            retrieval_queries.append(query)
+            oracle_retrieval.append(result)
+    oracle_aggregates = [
+        oracle_engine.execute(query) for query in workload.aggregates
+    ]
+
+    reports: dict[str, MethodReport] = {}
+    for spec in methods:
+        executor = MethodExecutor(
+            spec,
+            sequence,
+            model,
+            config,
+            oracle_provider=oracle_provider if spec.is_oracle else None,
+        )
+        report = MethodReport(
+            method=spec.name,
+            sequence=sequence.name,
+            ledger=executor.ledger,
+            sampling=executor.sampling,
+        )
+        for query, oracle_result in zip(retrieval_queries, oracle_retrieval):
+            predicted = executor.execute(query)
+            report.retrieval.append(
+                QueryEvaluation(
+                    query_text=query.describe(),
+                    kind="retrieval",
+                    metric=f1_score(predicted.id_set(), oracle_result.id_set()),
+                    oracle_value=float(oracle_result.cardinality),
+                    predicted_value=float(predicted.cardinality),
+                    selectivity=oracle_result.selectivity,
+                )
+            )
+        for query, oracle_result in zip(workload.aggregates, oracle_aggregates):
+            predicted = executor.execute(query)
+            report.aggregates.append(
+                QueryEvaluation(
+                    query_text=query.describe(),
+                    kind=query.operator,
+                    metric=aggregate_accuracy(predicted.value, oracle_result.value),
+                    oracle_value=oracle_result.value,
+                    predicted_value=predicted.value,
+                )
+            )
+        reports[spec.name] = report
+
+    return ExperimentReport(
+        sequence=sequence.name,
+        model=model.name,
+        n_frames=len(sequence),
+        oracle_ledger=oracle_ledger,
+        methods=reports,
+        n_retrieval_queries=len(retrieval_queries),
+        n_aggregate_queries=len(workload.aggregates),
+    )

@@ -1,0 +1,211 @@
+"""Oriented 3-D bounding boxes.
+
+The paper (Section 2.2) represents a detected object as
+``b = (min, max, angle)``: the minimum and maximum corners of the box in
+its object-local frame plus a rotation (yaw) angle around the vertical
+axis.  Internally we store the equivalent ``(center, size, yaw)``
+parameterization, which is more convenient for motion extrapolation
+(translating a box is just adding to ``center``), and expose ``min``/
+``max`` corner accessors for paper parity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundingBox3D"]
+
+_XY = slice(0, 2)
+
+
+def _as_vec3(value, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.shape != (3,):
+        raise ValueError(f"{name} must have shape (3,), got {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite, got {arr!r}")
+    return arr
+
+
+@dataclass(frozen=True, eq=False)
+class BoundingBox3D:
+    """An oriented (yaw-rotated) 3-D box.
+
+    Attributes
+    ----------
+    center:
+        ``(x, y, z)`` of the box center, in the frame's sensor coordinates
+        (the LiDAR sits at the origin).
+    size:
+        ``(length, width, height)`` extents along the box's local axes.
+        All components must be positive.
+    yaw:
+        Rotation around the vertical (z) axis in radians, normalized to
+        ``(-pi, pi]``.
+    """
+
+    center: np.ndarray
+    size: np.ndarray
+    yaw: float = 0.0
+
+    def __init__(self, center, size, yaw: float = 0.0) -> None:
+        center = _as_vec3(center, "center")
+        size = _as_vec3(size, "size")
+        if not np.all(size > 0):
+            raise ValueError(f"size components must be positive, got {size!r}")
+        yaw = float(yaw)
+        if not math.isfinite(yaw):
+            raise ValueError(f"yaw must be finite, got {yaw!r}")
+        yaw = math.remainder(yaw, 2.0 * math.pi)
+        if yaw <= -math.pi:
+            yaw += 2.0 * math.pi
+        center.setflags(write=False)
+        size.setflags(write=False)
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "size", size)
+        object.__setattr__(self, "yaw", yaw)
+
+    # ------------------------------------------------------------------
+    # Equality / hashing (numpy fields need explicit handling)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundingBox3D):
+            return NotImplemented
+        return (
+            np.array_equal(self.center, other.center)
+            and np.array_equal(self.size, other.size)
+            and self.yaw == other.yaw
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.center.tobytes(), self.size.tobytes(), self.yaw))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_min_max(cls, min_point, max_point, yaw: float = 0.0) -> BoundingBox3D:
+        """Build a box from the paper's ``(min, max, angle)`` triple.
+
+        ``min_point`` / ``max_point`` are the corners in the box-local
+        (unrotated) frame; ``yaw`` rotates the box about its center.
+        """
+        min_point = _as_vec3(min_point, "min_point")
+        max_point = _as_vec3(max_point, "max_point")
+        if not np.all(max_point > min_point):
+            raise ValueError(
+                f"max_point must exceed min_point component-wise, got "
+                f"min={min_point!r} max={max_point!r}"
+            )
+        center = (min_point + max_point) / 2.0
+        size = max_point - min_point
+        return cls(center, size, yaw)
+
+    # ------------------------------------------------------------------
+    # Paper-parity accessors
+    # ------------------------------------------------------------------
+    @property
+    def min_point(self) -> np.ndarray:
+        """Minimum corner in the box-local (unrotated) frame."""
+        return self.center - self.size / 2.0
+
+    @property
+    def max_point(self) -> np.ndarray:
+        """Maximum corner in the box-local (unrotated) frame."""
+        return self.center + self.size / 2.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def volume(self) -> float:
+        """Box volume in cubic meters."""
+        return float(np.prod(self.size))
+
+    @property
+    def bev_area(self) -> float:
+        """Bird's-eye-view (xy footprint) area."""
+        return float(self.size[0] * self.size[1])
+
+    def distance_to_origin(self) -> float:
+        """Planar (xy) distance from the sensor at the origin to the center.
+
+        This is the quantity used by the paper's spatial predicate
+        ``Distance(Obj, center)``: how far the object sits from the
+        LiDAR-equipped vehicle.
+        """
+        return float(np.hypot(self.center[0], self.center[1]))
+
+    def corners_bev(self) -> np.ndarray:
+        """The four footprint corners in sensor xy coordinates, CCW order."""
+        half_l, half_w = self.size[0] / 2.0, self.size[1] / 2.0
+        local = np.array(
+            [
+                [half_l, half_w],
+                [-half_l, half_w],
+                [-half_l, -half_w],
+                [half_l, -half_w],
+            ]
+        )
+        cos_y, sin_y = math.cos(self.yaw), math.sin(self.yaw)
+        rot = np.array([[cos_y, -sin_y], [sin_y, cos_y]])
+        return local @ rot.T + self.center[_XY]
+
+    def corners(self) -> np.ndarray:
+        """All eight corners of the oriented box, shape ``(8, 3)``.
+
+        The first four corners are the bottom face (CCW from above), the
+        last four the top face in the same order.
+        """
+        bev = self.corners_bev()
+        z_bottom = self.center[2] - self.size[2] / 2.0
+        z_top = self.center[2] + self.size[2] / 2.0
+        bottom = np.column_stack([bev, np.full(4, z_bottom)])
+        top = np.column_stack([bev, np.full(4, z_top)])
+        return np.vstack([bottom, top])
+
+    def contains_point(self, point) -> bool:
+        """Whether ``point`` lies inside the oriented box (inclusive)."""
+        point = _as_vec3(point, "point")
+        rel = point - self.center
+        if abs(rel[2]) > self.size[2] / 2.0 + 1e-12:
+            return False
+        cos_y, sin_y = math.cos(self.yaw), math.sin(self.yaw)
+        local_x = cos_y * rel[0] + sin_y * rel[1]
+        local_y = -sin_y * rel[0] + cos_y * rel[1]
+        return (
+            abs(local_x) <= self.size[0] / 2.0 + 1e-12
+            and abs(local_y) <= self.size[1] / 2.0 + 1e-12
+        )
+
+    # ------------------------------------------------------------------
+    # Motion
+    # ------------------------------------------------------------------
+    def translated(self, delta) -> BoundingBox3D:
+        """Return a copy shifted by ``delta`` (shape ``(3,)`` or ``(2,)``)."""
+        delta = np.asarray(delta, dtype=float)
+        if delta.shape == (2,):
+            delta = np.array([delta[0], delta[1], 0.0])
+        return BoundingBox3D(self.center + _as_vec3(delta, "delta"), self.size, self.yaw)
+
+    def moved(self, velocity, dt: float) -> BoundingBox3D:
+        """Return the box extrapolated by ``velocity * dt`` (constant velocity).
+
+        This is the motion model used by ST-PC analysis (paper Example 5.2):
+        ``Loc(car, t) = Loc(car, t1) + v * (t - t1)``.
+        """
+        velocity = np.asarray(velocity, dtype=float)
+        if velocity.shape == (2,):
+            velocity = np.array([velocity[0], velocity[1], 0.0])
+        return self.translated(velocity * float(dt))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cx, cy, cz = self.center
+        length, width, height = self.size
+        return (
+            f"BoundingBox3D(center=({cx:.2f}, {cy:.2f}, {cz:.2f}), "
+            f"size=({length:.2f}, {width:.2f}, {height:.2f}), yaw={self.yaw:.3f})"
+        )

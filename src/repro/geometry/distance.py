@@ -1,0 +1,118 @@
+"""Distances and overlap measures between boxes.
+
+The reward of the sampler (paper Eq. 1) and the ST-PC matching cost
+(Alg. 1, line 5) both use the Euclidean distance between box centers.
+Bird's-eye-view IoU of oriented boxes is provided as well; it is used by
+the simulated detectors' quality metrics and by tests that validate
+motion extrapolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.box import BoundingBox3D
+
+__all__ = [
+    "center_distance",
+    "bev_center_distance",
+    "pairwise_center_distances",
+    "polygon_area",
+    "clip_polygon",
+    "iou_bev",
+]
+
+
+def center_distance(box_a: BoundingBox3D, box_b: BoundingBox3D) -> float:
+    """Euclidean distance between two box centers (3-D)."""
+    return float(np.linalg.norm(box_a.center - box_b.center))
+
+
+def bev_center_distance(box_a: BoundingBox3D, box_b: BoundingBox3D) -> float:
+    """Euclidean distance between two box centers in the xy plane."""
+    return float(np.linalg.norm(box_a.center[:2] - box_b.center[:2]))
+
+
+def pairwise_center_distances(
+    boxes_a: list[BoundingBox3D], boxes_b: list[BoundingBox3D]
+) -> np.ndarray:
+    """Matrix ``M[i, j] = ||a_i.center - b_j.center||_2``.
+
+    This is exactly the cost matrix of Alg. 1 (lines 3-5).  Either list
+    may be empty, producing a ``(len(a), len(b))`` array with a zero
+    dimension.
+    """
+    if not boxes_a or not boxes_b:
+        return np.zeros((len(boxes_a), len(boxes_b)))
+    centers_a = np.stack([b.center for b in boxes_a])
+    centers_b = np.stack([b.center for b in boxes_b])
+    diff = centers_a[:, None, :] - centers_b[None, :, :]
+    return np.linalg.norm(diff, axis=2)
+
+
+def polygon_area(vertices: np.ndarray) -> float:
+    """Signed-area magnitude of a simple polygon (shoelace formula)."""
+    verts = np.asarray(vertices, dtype=float)
+    if len(verts) < 3:
+        return 0.0
+    x, y = verts[:, 0], verts[:, 1]
+    return float(abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))) / 2.0)
+
+
+def clip_polygon(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
+    """Sutherland–Hodgman clipping of ``subject`` by convex ``clip``.
+
+    Both polygons are ``(N, 2)`` arrays with counter-clockwise vertex
+    order.  Returns the (possibly empty) intersection polygon.
+    """
+    output = [tuple(p) for p in np.asarray(subject, dtype=float)]
+    clip = np.asarray(clip, dtype=float)
+    n_clip = len(clip)
+    for i in range(n_clip):
+        edge_start = clip[i]
+        edge_end = clip[(i + 1) % n_clip]
+        edge = edge_end - edge_start
+        if not output:
+            break
+        inputs, output = output, []
+
+        def inside(point) -> bool:
+            rel = np.asarray(point) - edge_start
+            return edge[0] * rel[1] - edge[1] * rel[0] >= -1e-12
+
+        def intersection(p1, p2) -> tuple[float, float]:
+            p1 = np.asarray(p1, dtype=float)
+            p2 = np.asarray(p2, dtype=float)
+            d = p2 - p1
+            denom = edge[0] * d[1] - edge[1] * d[0]
+            if abs(denom) < 1e-15:
+                return tuple(p2)
+            rel = p1 - edge_start
+            t = (edge[1] * rel[0] - edge[0] * rel[1]) / denom
+            return tuple(p1 + t * d)
+
+        prev = inputs[-1]
+        for curr in inputs:
+            if inside(curr):
+                if not inside(prev):
+                    output.append(intersection(prev, curr))
+                output.append(curr)
+            elif inside(prev):
+                output.append(intersection(prev, curr))
+            prev = curr
+    return np.array(output) if output else np.zeros((0, 2))
+
+
+def iou_bev(box_a: BoundingBox3D, box_b: BoundingBox3D) -> float:
+    """Bird's-eye-view IoU of two oriented boxes.
+
+    Computes the exact intersection of the two rotated rectangular
+    footprints via polygon clipping.  Returns a value in ``[0, 1]``.
+    """
+    poly_a = box_a.corners_bev()
+    poly_b = box_b.corners_bev()
+    inter = polygon_area(clip_polygon(poly_a, poly_b))
+    union = box_a.bev_area + box_b.bev_area - inter
+    if union <= 0:
+        return 0.0
+    return float(min(max(inter / union, 0.0), 1.0))

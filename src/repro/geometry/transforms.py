@@ -1,0 +1,106 @@
+"""Planar rigid transforms between world and sensor (ego) frames.
+
+The driving-world simulator tracks actors in a fixed *world* frame while
+detections are expressed in the *sensor* frame of the ego vehicle (LiDAR
+at the origin, x pointing forward).  Because LiDAR rigs are levelled, the
+transform is a 2-D rigid motion (rotation about z plus xy translation)
+with z passed through unchanged — the standard convention in the
+autonomous-driving datasets the paper evaluates on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Pose2D", "rotation_matrix_2d", "wrap_angle"]
+
+
+def wrap_angle(angle: float) -> float:
+    """Normalize an angle to the interval ``(-pi, pi]``."""
+    wrapped = math.remainder(float(angle), 2.0 * math.pi)
+    if wrapped <= -math.pi:
+        wrapped += 2.0 * math.pi
+    return wrapped
+
+
+def rotation_matrix_2d(yaw: float) -> np.ndarray:
+    """Return the 2x2 rotation matrix for a counter-clockwise ``yaw``."""
+    cos_y, sin_y = math.cos(yaw), math.sin(yaw)
+    return np.array([[cos_y, -sin_y], [sin_y, cos_y]])
+
+
+@dataclass(frozen=True)
+class Pose2D:
+    """Pose of the ego vehicle in the world frame.
+
+    ``x, y`` locate the sensor origin; ``yaw`` is the heading
+    (counter-clockwise from the world x axis).
+    """
+
+    x: float
+    y: float
+    yaw: float
+
+    def __post_init__(self) -> None:
+        for name in ("x", "y", "yaw"):
+            if not math.isfinite(getattr(self, name)):
+                raise ValueError(f"Pose2D.{name} must be finite")
+
+    @property
+    def position(self) -> np.ndarray:
+        """World-frame xy position as an array."""
+        return np.array([self.x, self.y])
+
+    # ------------------------------------------------------------------
+    # Point transforms.  Accept arrays of shape (2,), (3,), (N, 2) or
+    # (N, 3); z coordinates (when present) pass through unchanged.
+    # ------------------------------------------------------------------
+    def world_to_sensor(self, points) -> np.ndarray:
+        """Map world-frame point(s) into this pose's sensor frame."""
+        pts, squeeze, z = self._split(points)
+        rot = rotation_matrix_2d(-self.yaw)
+        local = (pts - self.position) @ rot.T
+        return self._join(local, z, squeeze)
+
+    def sensor_to_world(self, points) -> np.ndarray:
+        """Map sensor-frame point(s) into the world frame."""
+        pts, squeeze, z = self._split(points)
+        rot = rotation_matrix_2d(self.yaw)
+        world = pts @ rot.T + self.position
+        return self._join(world, z, squeeze)
+
+    def heading_in_sensor(self, world_yaw: float) -> float:
+        """Convert a world-frame heading into this sensor frame."""
+        return wrap_angle(world_yaw - self.yaw)
+
+    def advance(self, speed: float, yaw_rate: float, dt: float) -> Pose2D:
+        """Integrate a unicycle model one step forward.
+
+        Used by the simulator to move the ego vehicle: travel ``speed*dt``
+        along the current heading, then turn by ``yaw_rate*dt``.
+        """
+        nx = self.x + speed * dt * math.cos(self.yaw)
+        ny = self.y + speed * dt * math.sin(self.yaw)
+        return Pose2D(nx, ny, wrap_angle(self.yaw + yaw_rate * dt))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split(points) -> tuple[np.ndarray, bool, np.ndarray | None]:
+        arr = np.asarray(points, dtype=float)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] not in (2, 3):
+            raise ValueError(
+                f"points must have shape (2,), (3,), (N,2) or (N,3); got {arr.shape}"
+            )
+        z = arr[:, 2] if arr.shape[1] == 3 else None
+        return arr[:, :2], squeeze, z
+
+    @staticmethod
+    def _join(xy: np.ndarray, z: np.ndarray | None, squeeze: bool) -> np.ndarray:
+        out = xy if z is None else np.column_stack([xy, z])
+        return out[0] if squeeze else out

@@ -1,0 +1,45 @@
+"""Perfect ground-truth detector.
+
+Useful as an upper-bound reference and in tests where detector noise
+would obscure the behaviour under study.  Note this is *not* the paper's
+"Oracle" baseline — that is running a (noisy) deep model on every frame,
+implemented in :class:`repro.baselines.oracle.OracleMethod`.
+"""
+
+from __future__ import annotations
+
+from repro.data.annotations import ObjectArray
+from repro.data.frame import PointCloudFrame
+from repro.models.base import DetectionModel, FrameDetections
+
+__all__ = ["GroundTruthDetector"]
+
+
+class GroundTruthDetector(DetectionModel):
+    """Returns the frame's annotations verbatim with score 1.0."""
+
+    name = "ground_truth"
+    cost_per_frame = 0.1
+
+    def __init__(self, *, cost_per_frame: float | None = None) -> None:
+        if cost_per_frame is not None:
+            if cost_per_frame < 0:
+                raise ValueError("cost_per_frame must be non-negative")
+            self.cost_per_frame = float(cost_per_frame)
+
+    def detect(self, frame: PointCloudFrame) -> FrameDetections:
+        gt = frame.ground_truth
+        # Strip identities/velocities: a detector sees one sweep only.
+        objects = ObjectArray(
+            labels=gt.labels,
+            centers=gt.centers,
+            sizes=gt.sizes,
+            yaws=gt.yaws,
+            scores=gt.scores,
+        )
+        return FrameDetections(
+            frame_id=frame.frame_id,
+            timestamp=frame.timestamp,
+            objects=objects,
+            model_name=self.name,
+        )

@@ -1,0 +1,81 @@
+"""Query substrate: predicates, AST, parser, aggregates, engine, workloads."""
+
+from repro.query.aggregates import (
+    AGGREGATE_OPERATORS,
+    aggregate,
+    available_aggregates,
+    register_aggregate,
+    requires_count_predicate,
+)
+from repro.query.ast import (
+    AggregateQuery,
+    AggregateResult,
+    CompoundRetrievalQuery,
+    Condition,
+    ConditionAnd,
+    ConditionOr,
+    RetrievalQuery,
+    RetrievalResult,
+)
+from repro.query.engine import CountProvider, QueryEngine
+from repro.query.parser import QuerySyntaxError, parse_query
+from repro.query.predicates import (
+    DEFAULT_CONFIDENCE,
+    CountPredicate,
+    ObjectFilter,
+    SpatialPredicate,
+    compare,
+)
+from repro.query.spatial import (
+    AllOf,
+    RegionPredicate,
+    SectorPredicate,
+    SpatialFilter,
+    build_spatial_operator,
+    register_spatial_operator,
+    spatial_operator_keywords,
+)
+from repro.query.workload import (
+    AGGREGATE_OPERATORS_TBL2,
+    QueryWorkload,
+    generate_aggregate_workload,
+    generate_retrieval_workload,
+    generate_workload,
+)
+
+__all__ = [
+    "AGGREGATE_OPERATORS",
+    "AGGREGATE_OPERATORS_TBL2",
+    "AggregateQuery",
+    "AggregateResult",
+    "AllOf",
+    "CompoundRetrievalQuery",
+    "Condition",
+    "ConditionAnd",
+    "ConditionOr",
+    "CountPredicate",
+    "CountProvider",
+    "DEFAULT_CONFIDENCE",
+    "ObjectFilter",
+    "QueryEngine",
+    "QuerySyntaxError",
+    "QueryWorkload",
+    "RegionPredicate",
+    "RetrievalQuery",
+    "RetrievalResult",
+    "SectorPredicate",
+    "SpatialFilter",
+    "SpatialPredicate",
+    "aggregate",
+    "available_aggregates",
+    "build_spatial_operator",
+    "compare",
+    "generate_aggregate_workload",
+    "generate_retrieval_workload",
+    "generate_workload",
+    "parse_query",
+    "register_aggregate",
+    "register_spatial_operator",
+    "requires_count_predicate",
+    "spatial_operator_keywords",
+]

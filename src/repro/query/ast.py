@@ -1,0 +1,189 @@
+"""Query objects (abstract syntax) and result types.
+
+Two query shapes, matching the paper's §2.1 definitions:
+
+* :class:`RetrievalQuery` — return the ids of all frames whose filtered
+  object count satisfies the semantic predicate;
+* :class:`AggregateQuery` — reduce the per-frame counts with one of the
+  registered aggregate operators.
+
+Both carry an :class:`~repro.query.predicates.ObjectFilter`; queries are
+frozen/hashable so engines can memoize per-query work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.query.aggregates import AGGREGATE_OPERATORS, requires_count_predicate
+from repro.query.predicates import CountPredicate, ObjectFilter
+
+__all__ = [
+    "RetrievalQuery",
+    "AggregateQuery",
+    "RetrievalResult",
+    "AggregateResult",
+    "Condition",
+    "ConditionAnd",
+    "ConditionOr",
+    "CompoundRetrievalQuery",
+]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One frame-level condition: ``COUNT(<filter>) op num``."""
+
+    object_filter: ObjectFilter
+    count_predicate: CountPredicate
+
+    def describe(self) -> str:
+        return (
+            f"COUNT({self.object_filter.describe()}) "
+            f"{self.count_predicate.op} {self.count_predicate.threshold:g}"
+        )
+
+
+@dataclass(frozen=True)
+class ConditionAnd:
+    """Conjunction of conditions (all must hold per frame)."""
+
+    children: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("ConditionAnd needs at least two children")
+
+    def describe(self) -> str:
+        return " AND ".join(_child_text(c) for c in self.children)
+
+
+@dataclass(frozen=True)
+class ConditionOr:
+    """Disjunction of conditions (any may hold per frame)."""
+
+    children: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("ConditionOr needs at least two children")
+
+    def describe(self) -> str:
+        return " OR ".join(_child_text(c) for c in self.children)
+
+
+def _child_text(condition) -> str:
+    text = condition.describe()
+    if isinstance(condition, (ConditionAnd, ConditionOr)):
+        return f"({text})"
+    return text
+
+
+@dataclass(frozen=True)
+class RetrievalQuery:
+    """``SELECT FRAMES WHERE COUNT(<filter>) op num``."""
+
+    object_filter: ObjectFilter
+    count_predicate: CountPredicate
+
+    def describe(self) -> str:
+        return (
+            f"SELECT FRAMES WHERE COUNT({self.object_filter.describe()}) "
+            f"{self.count_predicate.op} {self.count_predicate.threshold:g}"
+        )
+
+
+@dataclass(frozen=True)
+class CompoundRetrievalQuery:
+    """Retrieval over a boolean combination of count conditions.
+
+    The "join-query" extension of the paper's future work (§8): frames
+    satisfying e.g. *>= 3 cars within 10 m AND >= 1 pedestrian within
+    15 m*.  Each leaf condition evaluates its own count series; the
+    engine combines the per-frame boolean masks.
+    """
+
+    condition: object  # Condition | ConditionAnd | ConditionOr
+
+    def describe(self) -> str:
+        return f"SELECT FRAMES WHERE {self.condition.describe()}"
+
+    def leaf_conditions(self) -> list[Condition]:
+        """All leaf conditions in evaluation order."""
+        leaves: list[Condition] = []
+
+        def walk(node) -> None:
+            if isinstance(node, Condition):
+                leaves.append(node)
+            else:
+                for child in node.children:
+                    walk(child)
+
+        walk(self.condition)
+        return leaves
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``SELECT <op> OF COUNT(<filter>)`` (plus the Count-operator form)."""
+
+    object_filter: ObjectFilter
+    operator: str
+    count_predicate: CountPredicate | None = None
+
+    def __post_init__(self) -> None:
+        if self.operator not in AGGREGATE_OPERATORS:
+            raise ValueError(
+                f"unknown aggregate operator {self.operator!r}; "
+                f"options: {sorted(AGGREGATE_OPERATORS)}"
+            )
+        if requires_count_predicate(self.operator) and self.count_predicate is None:
+            raise ValueError(f"{self.operator} requires a count predicate")
+
+    def describe(self) -> str:
+        if self.count_predicate is not None:
+            return (
+                f"SELECT {self.operator.upper()} FRAMES WHERE "
+                f"COUNT({self.object_filter.describe()}) "
+                f"{self.count_predicate.op} {self.count_predicate.threshold:g}"
+            )
+        return f"SELECT {self.operator.upper()} OF COUNT({self.object_filter.describe()})"
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Frame ids satisfying a retrieval query."""
+
+    query: RetrievalQuery
+    frame_ids: np.ndarray
+    #: Number of frames in the queried sequence (for selectivity).
+    n_frames: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "frame_ids", np.asarray(self.frame_ids, dtype=np.int64)
+        )
+
+    @property
+    def cardinality(self) -> int:
+        return int(len(self.frame_ids))
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of frames retrieved, in [0, 1]."""
+        return self.cardinality / self.n_frames if self.n_frames else 0.0
+
+    def id_set(self) -> set[int]:
+        return set(int(i) for i in self.frame_ids)
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Numeric answer of an aggregate query."""
+
+    query: AggregateQuery
+    value: float
+    #: Optional per-frame counts the value was computed from (diagnostics).
+    counts: np.ndarray | None = field(default=None, repr=False, compare=False)

@@ -1,0 +1,121 @@
+"""Query execution over per-frame count series.
+
+Every query in the paper reduces to the per-frame count series
+``n_t`` = number of objects in frame ``t`` satisfying the query's object
+filter.  A :class:`CountProvider` supplies that series — the Oracle
+provider computes it from full detections, MAST's providers from the
+index (ST prediction) or from interpolation (linear prediction) — and
+the :class:`QueryEngine` evaluates retrieval and aggregate queries on
+top, charging query-time costs to a ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.query.aggregates import aggregate
+from repro.query.ast import (
+    AggregateQuery,
+    AggregateResult,
+    CompoundRetrievalQuery,
+    Condition,
+    ConditionAnd,
+    ConditionOr,
+    RetrievalQuery,
+    RetrievalResult,
+)
+from repro.query.parser import parse_query
+from repro.query.predicates import ObjectFilter
+from repro.utils.timing import STAGE_QUERY, CostLedger
+
+__all__ = ["CountProvider", "QueryEngine"]
+
+
+@runtime_checkable
+class CountProvider(Protocol):
+    """Supplies per-frame object counts for an object filter."""
+
+    #: Number of frames in the underlying sequence.
+    n_frames: int
+    #: Simulated seconds per frame evaluation charged per query (models
+    #: the paper's measured per-query costs; see §6.1).
+    simulated_query_cost_per_frame: float
+
+    def count_series(self, object_filter: ObjectFilter) -> np.ndarray:
+        """Return the ``(n_frames,)`` count series for ``object_filter``."""
+        ...  # pragma: no cover - protocol
+
+
+class QueryEngine:
+    """Evaluates retrieval / aggregate queries against a count provider."""
+
+    def __init__(
+        self, provider: CountProvider, *, ledger: CostLedger | None = None
+    ) -> None:
+        self.provider = provider
+        self.ledger = ledger if ledger is not None else CostLedger()
+
+    # ------------------------------------------------------------------
+    def execute(self, query) -> RetrievalResult | AggregateResult:
+        """Run one query (query object or query-language text)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        with self.ledger.measure(STAGE_QUERY):
+            self.ledger.charge(
+                STAGE_QUERY,
+                self.provider.simulated_query_cost_per_frame * self.provider.n_frames,
+                count=0,
+            )
+            if isinstance(query, RetrievalQuery):
+                return self._retrieve(query)
+            if isinstance(query, CompoundRetrievalQuery):
+                return self._retrieve_compound(query)
+            if isinstance(query, AggregateQuery):
+                return self._aggregate(query)
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def execute_many(self, queries) -> list[RetrievalResult | AggregateResult]:
+        """Run a list of queries in order."""
+        return [self.execute(q) for q in queries]
+
+    # ------------------------------------------------------------------
+    def _retrieve(self, query: RetrievalQuery) -> RetrievalResult:
+        counts = self.provider.count_series(query.object_filter)
+        mask = query.count_predicate.mask(counts)
+        return RetrievalResult(
+            query=query,
+            frame_ids=np.nonzero(mask)[0],
+            n_frames=self.provider.n_frames,
+        )
+
+    def _retrieve_compound(self, query: CompoundRetrievalQuery) -> RetrievalResult:
+        mask = self._condition_mask(query.condition)
+        return RetrievalResult(
+            query=query,
+            frame_ids=np.nonzero(mask)[0],
+            n_frames=self.provider.n_frames,
+        )
+
+    def _condition_mask(self, condition) -> np.ndarray:
+        """Per-frame boolean mask of a (possibly compound) condition."""
+        if isinstance(condition, Condition):
+            counts = self.provider.count_series(condition.object_filter)
+            return condition.count_predicate.mask(counts)
+        if isinstance(condition, ConditionAnd):
+            mask = self._condition_mask(condition.children[0])
+            for child in condition.children[1:]:
+                mask = mask & self._condition_mask(child)
+            return mask
+        if isinstance(condition, ConditionOr):
+            mask = self._condition_mask(condition.children[0])
+            for child in condition.children[1:]:
+                mask = mask | self._condition_mask(child)
+            return mask
+        raise TypeError(f"unsupported condition type {type(condition).__name__}")
+
+    def _aggregate(self, query: AggregateQuery) -> AggregateResult:
+        counts = self.provider.count_series(query.object_filter)
+        value = aggregate(query.operator, counts, query.count_predicate)
+        return AggregateResult(query=query, value=value, counts=counts)

@@ -1,0 +1,296 @@
+"""A small SQL-ish query language for PC analytics.
+
+The paper expresses its queries as nested SQL over ``f_M(frame)``
+subqueries.  This module provides an equivalent flat surface syntax that
+compiles to the same :mod:`repro.query.ast` objects:
+
+Retrieval (paper's PC retrieval query)::
+
+    SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3
+
+Aggregates (paper's PC aggregate query)::
+
+    SELECT AVG OF COUNT(Car DIST <= 10)
+    SELECT MED OF COUNT(* DIST >= 5)
+    SELECT MIN OF COUNT(Car)
+    SELECT COUNT FRAMES WHERE COUNT(Car DIST <= 10) >= 3
+
+Object filters accept an optional ``DIST <cmp> <meters>`` spatial
+predicate, an optional ``CONF <threshold>`` confidence cut, and ``*`` for
+"any label".  Keywords are case-insensitive; labels are case-sensitive.
+
+Extensions beyond the paper's templates:
+
+* additional spatial operators from the registry in
+  :mod:`repro.query.spatial` — ``SECTOR <start_deg> <end_deg>``,
+  ``REGION <xmin> <ymin> <xmax> <ymax>``, plus any operator registered
+  at runtime; several spatial clauses in one ``COUNT(...)`` conjoin::
+
+      SELECT FRAMES WHERE COUNT(Car DIST <= 20 SECTOR -45 45) >= 2
+
+* compound retrieval conditions with ``AND`` / ``OR`` (``AND`` binds
+  tighter), the paper's future-work "join queries"::
+
+      SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3
+                      AND COUNT(Pedestrian DIST <= 15) >= 1
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.query.aggregates import AGGREGATE_OPERATORS, requires_count_predicate
+from repro.query.ast import (
+    AggregateQuery,
+    CompoundRetrievalQuery,
+    Condition,
+    ConditionAnd,
+    ConditionOr,
+    RetrievalQuery,
+)
+from repro.query.predicates import (
+    DEFAULT_CONFIDENCE,
+    CountPredicate,
+    ObjectFilter,
+    SpatialPredicate,
+)
+from repro.query.spatial import (
+    AllOf,
+    build_spatial_operator,
+    is_spatial_operator,
+    spatial_operator_arg_count,
+)
+
+__all__ = ["parse_query", "QuerySyntaxError"]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when query text cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<NUMBER>-?\d+(\.\d+)?)
+  | (?P<CMP><=|>=|<|>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<STAR>\*)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<WS>\s+)
+  | (?P<BAD>.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind == "WS":
+            continue
+        if kind == "BAD":
+            raise QuerySyntaxError(
+                f"unexpected character {match.group()!r} at position {match.start()}"
+            )
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError(f"unexpected end of query: {self.text!r}")
+        self.position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "IDENT" or token.text.upper() != keyword:
+            raise QuerySyntaxError(
+                f"expected {keyword!r} at position {token.position}, got {token.text!r}"
+            )
+
+    def _match_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text.upper() == keyword:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_kind(self, kind: str, what: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise QuerySyntaxError(
+                f"expected {what} at position {token.position}, got {token.text!r}"
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> RetrievalQuery | CompoundRetrievalQuery | AggregateQuery:
+        self._expect_keyword("SELECT")
+        if self._match_keyword("FRAMES"):
+            self._expect_keyword("WHERE")
+            condition = self._condition_expr()
+            if isinstance(condition, Condition):
+                query: RetrievalQuery | CompoundRetrievalQuery | AggregateQuery = (
+                    RetrievalQuery(condition.object_filter, condition.count_predicate)
+                )
+            else:
+                query = CompoundRetrievalQuery(condition)
+        else:
+            query = self._aggregate()
+        if self._peek() is not None:
+            trailing = self._peek()
+            raise QuerySyntaxError(
+                f"unexpected trailing input {trailing.text!r} "
+                f"at position {trailing.position}"
+            )
+        return query
+
+    def _aggregate(self) -> AggregateQuery:
+        token = self._expect_kind("IDENT", "an aggregate operator")
+        operator = _resolve_operator(token.text)
+        if operator is None:
+            raise QuerySyntaxError(
+                f"unknown aggregate operator {token.text!r} at position "
+                f"{token.position}; options: {sorted(AGGREGATE_OPERATORS)}"
+            )
+        if requires_count_predicate(operator):
+            self._expect_keyword("FRAMES")
+            self._expect_keyword("WHERE")
+            condition = self._condition_expr()
+            if not isinstance(condition, Condition):
+                raise QuerySyntaxError(
+                    f"the {operator} aggregate takes a single condition; "
+                    f"for compound conditions use a retrieval query and "
+                    f"its cardinality"
+                )
+            return AggregateQuery(
+                condition.object_filter, operator, condition.count_predicate
+            )
+        self._expect_keyword("OF")
+        object_filter = self._count_expr()
+        return AggregateQuery(object_filter, operator)
+
+    # ------------------------------------------------------------------
+    # Conditions: OR over ANDs over leaf conditions (AND binds tighter).
+    # ------------------------------------------------------------------
+    def _condition_expr(self):
+        terms = [self._and_expr()]
+        while self._match_keyword("OR"):
+            terms.append(self._and_expr())
+        if len(terms) == 1:
+            return terms[0]
+        return ConditionOr(tuple(terms))
+
+    def _and_expr(self):
+        terms = [self._leaf_condition()]
+        while self._match_keyword("AND"):
+            terms.append(self._leaf_condition())
+        if len(terms) == 1:
+            return terms[0]
+        return ConditionAnd(tuple(terms))
+
+    def _leaf_condition(self) -> Condition:
+        object_filter = self._count_expr()
+        op = self._expect_kind("CMP", "a comparison operator").text
+        threshold = float(self._expect_kind("NUMBER", "a number").text)
+        return Condition(object_filter, CountPredicate(op, threshold))
+
+    def _count_expr(self) -> ObjectFilter:
+        self._expect_keyword("COUNT")
+        self._expect_kind("LPAREN", "'('")
+        token = self._next()
+        if token.kind == "STAR":
+            label = None
+        elif token.kind == "IDENT":
+            label = token.text
+        else:
+            raise QuerySyntaxError(
+                f"expected a label or '*' at position {token.position}, "
+                f"got {token.text!r}"
+            )
+        spatial_filters: list = []
+        confidence = DEFAULT_CONFIDENCE
+        while True:
+            if self._match_keyword("DIST"):
+                op = self._expect_kind("CMP", "a comparison operator").text
+                threshold = float(self._expect_kind("NUMBER", "a number").text)
+                spatial_filters.append(SpatialPredicate(op, threshold))
+            elif self._match_keyword("CONF"):
+                confidence = float(self._expect_kind("NUMBER", "a number").text)
+            elif self._peek_spatial_operator() is not None:
+                keyword = self._next().text.upper()
+                n_args = spatial_operator_arg_count(keyword)
+                args = [
+                    float(self._expect_kind("NUMBER", "a number").text)
+                    for _ in range(n_args)
+                ]
+                try:
+                    spatial_filters.append(build_spatial_operator(keyword, args))
+                except ValueError as error:
+                    raise QuerySyntaxError(str(error)) from error
+            else:
+                break
+        self._expect_kind("RPAREN", "')'")
+        if not spatial_filters:
+            spatial = None
+        elif len(spatial_filters) == 1:
+            spatial = spatial_filters[0]
+        else:
+            spatial = AllOf(tuple(spatial_filters))
+        return ObjectFilter(label=label, spatial=spatial, confidence=confidence)
+
+    def _peek_spatial_operator(self) -> str | None:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "IDENT"
+            and is_spatial_operator(token.text)
+        ):
+            return token.text.upper()
+        return None
+
+
+def _resolve_operator(text: str) -> str | None:
+    """Case-insensitive lookup of an aggregate operator name."""
+    lowered = text.lower()
+    for name in AGGREGATE_OPERATORS:
+        if name.lower() == lowered:
+            return name
+    return None
+
+
+def parse_query(text: str) -> RetrievalQuery | AggregateQuery:
+    """Parse query text into a query object.
+
+    Raises :class:`QuerySyntaxError` (a ``ValueError``) on malformed input.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise QuerySyntaxError("query text must be a non-empty string")
+    return _Parser(text).parse()

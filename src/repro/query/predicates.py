@@ -1,0 +1,146 @@
+"""Query predicates (paper §2.1).
+
+Two predicate families drive all queries in the paper:
+
+* the **spatial predicate** ``Distance(Obj, center) [<=, >=] r`` filters
+  objects by planar distance from the sensor;
+* the **semantic predicate** ``|Obj| [<=, >=] num`` filters *frames* by
+  the number of objects that survive the object-level filters.
+
+An :class:`ObjectFilter` bundles the object-level conditions (label,
+spatial predicate, confidence cut); a :class:`CountPredicate` is the
+frame-level semantic condition applied to the resulting counts.  Both are
+frozen and hashable, so count series can be memoized per filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.annotations import ObjectArray
+
+__all__ = [
+    "COMPARISONS",
+    "compare",
+    "SpatialPredicate",
+    "CountPredicate",
+    "ObjectFilter",
+    "DEFAULT_CONFIDENCE",
+]
+
+#: Comparison operators supported by predicates.  The paper's templates
+#: (Tbl 2) use only ``<=`` and ``>=``; the strict forms come for free.
+COMPARISONS: tuple[str, ...] = ("<=", ">=", "<", ">")
+
+#: Confidence threshold for a predicted/detected box to count as present
+#: (paper Example 5.2: "above 0.5 by default").
+DEFAULT_CONFIDENCE: float = 0.5
+
+
+def compare(values: np.ndarray, op: str, threshold: float) -> np.ndarray:
+    """Vectorized comparison ``values op threshold`` -> boolean array."""
+    values = np.asarray(values)
+    if op == "<=":
+        return values <= threshold
+    if op == ">=":
+        return values >= threshold
+    if op == "<":
+        return values < threshold
+    if op == ">":
+        return values > threshold
+    raise ValueError(f"unsupported comparison {op!r}; options: {COMPARISONS}")
+
+
+@dataclass(frozen=True)
+class SpatialPredicate:
+    """``Distance(Obj, center) op threshold`` in meters.
+
+    The paper's spatial predicate.  Like the extended filters in
+    :mod:`repro.query.spatial`, it also implements ``mask_positions``
+    over sensor-frame xy positions, so all spatial filters share one
+    evaluation protocol.
+    """
+
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISONS:
+            raise ValueError(f"unsupported comparison {self.op!r}")
+        if not self.threshold >= 0:
+            raise ValueError(f"distance threshold must be >= 0, got {self.threshold}")
+
+    def mask(self, distances: np.ndarray) -> np.ndarray:
+        """Boolean mask over per-object distances."""
+        return compare(distances, self.op, self.threshold)
+
+    def mask_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``(N, 2)`` sensor-frame positions."""
+        positions = np.asarray(positions, dtype=float)
+        return self.mask(np.hypot(positions[:, 0], positions[:, 1]))
+
+    def describe(self) -> str:
+        return f"dist {self.op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class CountPredicate:
+    """The semantic predicate ``|Obj| op threshold`` over per-frame counts."""
+
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISONS:
+            raise ValueError(f"unsupported comparison {self.op!r}")
+
+    def mask(self, counts: np.ndarray) -> np.ndarray:
+        """Boolean mask over per-frame counts."""
+        return compare(counts, self.op, self.threshold)
+
+    def describe(self) -> str:
+        return f"count {self.op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class ObjectFilter:
+    """Object-level filter: label + optional spatial filter + confidence cut.
+
+    ``label=None`` matches every object class.  ``spatial`` is any
+    filter implementing ``mask_positions`` — the paper's distance
+    predicate (:class:`SpatialPredicate`), a sector/region filter, or an
+    :class:`~repro.query.spatial.AllOf` conjunction of them.  The
+    confidence threshold implements the appearance mechanism of ST
+    prediction (boxes whose decayed/grown confidence falls below it do
+    not count).
+    """
+
+    label: str | None = None
+    spatial: object | None = None
+    confidence: float = DEFAULT_CONFIDENCE
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+        if self.spatial is not None and not hasattr(self.spatial, "mask_positions"):
+            raise TypeError(
+                "spatial filter must implement mask_positions(positions); "
+                f"got {type(self.spatial).__name__}"
+            )
+
+    def count(self, objects: ObjectArray) -> int:
+        """Number of objects in one frame's set satisfying this filter."""
+        mask = objects.scores >= self.confidence
+        if self.label is not None:
+            mask &= objects.labels == self.label
+        if self.spatial is not None:
+            mask &= self.spatial.mask_positions(objects.centers[:, :2])
+        return int(mask.sum())
+
+    def describe(self) -> str:
+        parts = [self.label or "*"]
+        if self.spatial is not None:
+            parts.append(self.spatial.describe())
+        return " ".join(parts)

@@ -1,0 +1,212 @@
+"""Extended spatial filters and the spatial-operator registry.
+
+The paper's evaluation uses one spatial predicate — distance from the
+sensor — but notes that "other spatial filters can be also supported by
+adding spatial operators" (§2.1) and lists "intricate spatial ...
+filters" as future work (§8).  This module provides that extension
+surface:
+
+* :class:`SectorPredicate` — objects within an angular field of view
+  (e.g. "in front of the vehicle");
+* :class:`RegionPredicate` — objects inside an axis-aligned BEV window;
+* :class:`AllOf` — conjunction of spatial filters ("within 20 m *and*
+  in the front sector");
+* a keyword registry the query parser consults, so new operators become
+  usable from query text without touching the parser
+  (``register_spatial_operator``).
+
+Every spatial filter implements ``mask_positions(xy) -> bool[N]`` over
+sensor-frame object positions; the distance predicate in
+:mod:`repro.query.predicates` implements the same protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "SpatialFilter",
+    "SectorPredicate",
+    "RegionPredicate",
+    "AllOf",
+    "register_spatial_operator",
+    "spatial_operator_keywords",
+    "spatial_operator_arg_count",
+    "is_spatial_operator",
+    "build_spatial_operator",
+]
+
+
+@runtime_checkable
+class SpatialFilter(Protocol):
+    """Anything that can mask sensor-frame object positions."""
+
+    def mask_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``(N, 2)`` xy positions."""
+        ...  # pragma: no cover - protocol
+
+    def describe(self) -> str:
+        """Human-readable form used by ``Query.describe``."""
+        ...  # pragma: no cover - protocol
+
+
+def _as_positions(positions) -> np.ndarray:
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must have shape (N, 2), got {positions.shape}")
+    return positions
+
+
+@dataclass(frozen=True)
+class SectorPredicate:
+    """Objects within an angular sector of the sensor.
+
+    Angles are degrees counter-clockwise from the sensor's forward (+x)
+    axis; the sector spans from ``start_deg`` to ``end_deg`` going
+    counter-clockwise.  ``SECTOR -45 45`` is a 90-degree forward cone.
+    """
+
+    start_deg: float
+    end_deg: float
+
+    def __post_init__(self) -> None:
+        span = self.end_deg - self.start_deg
+        if not 0.0 < span <= 360.0:
+            raise ValueError(
+                f"sector must span (0, 360] degrees (end_deg - start_deg), "
+                f"got [{self.start_deg}, {self.end_deg}]; express wraparound "
+                f"sectors with end_deg > 360 (e.g. 350 to 370)"
+            )
+
+    def mask_positions(self, positions: np.ndarray) -> np.ndarray:
+        positions = _as_positions(positions)
+        angles = np.degrees(np.arctan2(positions[:, 1], positions[:, 0]))
+        relative = (angles - self.start_deg) % 360.0
+        return relative <= (self.end_deg - self.start_deg)
+
+    def describe(self) -> str:
+        return f"sector {self.start_deg:g} {self.end_deg:g}"
+
+
+@dataclass(frozen=True)
+class RegionPredicate:
+    """Objects inside an axis-aligned bird's-eye-view window."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if not (self.x_max > self.x_min and self.y_max > self.y_min):
+            raise ValueError(
+                f"region must have positive extent, got "
+                f"x=[{self.x_min}, {self.x_max}] y=[{self.y_min}, {self.y_max}]"
+            )
+
+    def mask_positions(self, positions: np.ndarray) -> np.ndarray:
+        positions = _as_positions(positions)
+        return (
+            (positions[:, 0] >= self.x_min)
+            & (positions[:, 0] <= self.x_max)
+            & (positions[:, 1] >= self.y_min)
+            & (positions[:, 1] <= self.y_max)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"region {self.x_min:g} {self.y_min:g} {self.x_max:g} {self.y_max:g}"
+        )
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """Conjunction of spatial filters (all must hold)."""
+
+    filters: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.filters) < 1:
+            raise ValueError("AllOf needs at least one filter")
+
+    def mask_positions(self, positions: np.ndarray) -> np.ndarray:
+        positions = _as_positions(positions)
+        mask = np.ones(len(positions), dtype=bool)
+        for spatial_filter in self.filters:
+            mask &= spatial_filter.mask_positions(positions)
+        return mask
+
+    def describe(self) -> str:
+        return " ".join(f.describe() for f in self.filters)
+
+
+# ----------------------------------------------------------------------
+# Parser-facing operator registry
+# ----------------------------------------------------------------------
+
+#: keyword -> (number of numeric arguments, constructor)
+_SPATIAL_OPERATORS: dict[str, tuple[int, Callable[..., object]]] = {
+    "SECTOR": (2, SectorPredicate),
+    "REGION": (4, RegionPredicate),
+}
+
+
+def register_spatial_operator(
+    keyword: str,
+    n_args: int,
+    factory: Callable[..., object],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Make a spatial filter constructible from query text.
+
+    ``keyword`` becomes usable inside ``COUNT(...)``: the parser reads
+    ``n_args`` numbers after it and calls ``factory(*numbers)``.  The
+    factory must return an object implementing :class:`SpatialFilter`.
+    """
+    keyword = keyword.upper()
+    if keyword in ("DIST", "CONF"):
+        raise ValueError(f"{keyword!r} is reserved by the core grammar")
+    if keyword in _SPATIAL_OPERATORS and not overwrite:
+        raise ValueError(f"spatial operator {keyword!r} is already registered")
+    if n_args < 0:
+        raise ValueError("n_args must be non-negative")
+    _SPATIAL_OPERATORS[keyword] = (int(n_args), factory)
+
+
+def spatial_operator_keywords() -> list[str]:
+    """Registered spatial-operator keywords, sorted."""
+    return sorted(_SPATIAL_OPERATORS)
+
+
+def build_spatial_operator(keyword: str, args: list[float]):
+    """Instantiate a registered spatial operator (parser hook)."""
+    keyword = keyword.upper()
+    if keyword not in _SPATIAL_OPERATORS:
+        raise ValueError(
+            f"unknown spatial operator {keyword!r}; "
+            f"options: {spatial_operator_keywords()}"
+        )
+    n_args, factory = _SPATIAL_OPERATORS[keyword]
+    if len(args) != n_args:
+        raise ValueError(
+            f"spatial operator {keyword} expects {n_args} arguments, "
+            f"got {len(args)}"
+        )
+    return factory(*args)
+
+
+def spatial_operator_arg_count(keyword: str) -> int:
+    """Number of numeric arguments a registered operator consumes."""
+    keyword = keyword.upper()
+    if keyword not in _SPATIAL_OPERATORS:
+        raise ValueError(f"unknown spatial operator {keyword!r}")
+    return _SPATIAL_OPERATORS[keyword][0]
+
+
+def is_spatial_operator(keyword: str) -> bool:
+    """Whether ``keyword`` names a registered spatial operator."""
+    return keyword.upper() in _SPATIAL_OPERATORS

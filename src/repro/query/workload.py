@@ -1,0 +1,132 @@
+"""Workload generation from the paper's query templates (Tbl 2).
+
+The retrieval workload enumerates the full template grid — object
+comparison {<=, >=} x count thresholds {1, 3, 5, 7, 9} x spatial
+comparison {<=, >=} x distance thresholds {2, 5, 10, 15, 20} m — which
+yields exactly the 100 retrieval queries the paper's RQ2 workload uses.
+The aggregate workload draws 30 queries (6 per operator) over the same
+filter grid.  Parameter spreads are chosen, as in the paper, so that
+retrieval selectivities spread roughly uniformly between ~0.1 % and 100 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.query.ast import AggregateQuery, RetrievalQuery
+from repro.query.predicates import CountPredicate, ObjectFilter, SpatialPredicate
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "OBJECT_COUNT_THRESHOLDS",
+    "SPATIAL_DISTANCE_THRESHOLDS",
+    "COMPARISON_OPERATORS",
+    "AGGREGATE_OPERATORS_TBL2",
+    "QueryWorkload",
+    "generate_retrieval_workload",
+    "generate_aggregate_workload",
+    "generate_workload",
+]
+
+#: Tbl 2 — object num thresholds (#).
+OBJECT_COUNT_THRESHOLDS: tuple[int, ...] = (1, 3, 5, 7, 9)
+#: Tbl 2 — spatial distance thresholds (m).
+SPATIAL_DISTANCE_THRESHOLDS: tuple[float, ...] = (2.0, 5.0, 10.0, 15.0, 20.0)
+#: Tbl 2 — comparison operators for both predicate kinds.
+COMPARISON_OPERATORS: tuple[str, ...] = ("<=", ">=")
+#: Tbl 2 — aggregate operators.
+AGGREGATE_OPERATORS_TBL2: tuple[str, ...] = ("Avg", "Med", "Count", "Min", "Max")
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A bundle of retrieval and aggregate queries."""
+
+    retrieval: tuple[RetrievalQuery, ...]
+    aggregates: tuple[AggregateQuery, ...]
+
+    def __len__(self) -> int:
+        return len(self.retrieval) + len(self.aggregates)
+
+    def all_queries(self) -> list[RetrievalQuery | AggregateQuery]:
+        return list(self.retrieval) + list(self.aggregates)
+
+    def object_filters(self) -> list[ObjectFilter]:
+        """Distinct object filters referenced by the workload."""
+        seen: dict[ObjectFilter, None] = {}
+        for query in self.all_queries():
+            seen.setdefault(query.object_filter, None)
+        return list(seen)
+
+
+def generate_retrieval_workload(label: str = "Car") -> tuple[RetrievalQuery, ...]:
+    """The full Tbl-2 retrieval grid (100 queries) for one label."""
+    queries = []
+    for count_op, count_thr, dist_op, dist_thr in product(
+        COMPARISON_OPERATORS,
+        OBJECT_COUNT_THRESHOLDS,
+        COMPARISON_OPERATORS,
+        SPATIAL_DISTANCE_THRESHOLDS,
+    ):
+        queries.append(
+            RetrievalQuery(
+                object_filter=ObjectFilter(
+                    label=label, spatial=SpatialPredicate(dist_op, dist_thr)
+                ),
+                count_predicate=CountPredicate(count_op, count_thr),
+            )
+        )
+    return tuple(queries)
+
+
+def generate_aggregate_workload(
+    label: str = "Car",
+    *,
+    per_operator: int = 6,
+    rng=None,
+) -> tuple[AggregateQuery, ...]:
+    """``per_operator`` aggregate queries per Tbl-2 operator (default 30 total)."""
+    rng = ensure_rng(rng, "workload", "aggregate")
+    filter_grid = [
+        ObjectFilter(label=label, spatial=SpatialPredicate(dist_op, dist_thr))
+        for dist_op, dist_thr in product(
+            COMPARISON_OPERATORS, SPATIAL_DISTANCE_THRESHOLDS
+        )
+    ]
+    count_grid = [
+        CountPredicate(count_op, count_thr)
+        for count_op, count_thr in product(
+            COMPARISON_OPERATORS, OBJECT_COUNT_THRESHOLDS
+        )
+    ]
+    queries = []
+    for operator in AGGREGATE_OPERATORS_TBL2:
+        filter_choices = rng.choice(len(filter_grid), size=per_operator, replace=False)
+        for filter_index in filter_choices:
+            count_pred = None
+            if operator == "Count":
+                count_pred = count_grid[int(rng.integers(len(count_grid)))]
+            queries.append(
+                AggregateQuery(
+                    object_filter=filter_grid[int(filter_index)],
+                    operator=operator,
+                    count_predicate=count_pred,
+                )
+            )
+    return tuple(queries)
+
+
+def generate_workload(
+    label: str = "Car",
+    *,
+    per_operator: int = 6,
+    rng=None,
+) -> QueryWorkload:
+    """The paper's RQ2 workload: 100 retrieval + 30 aggregate queries."""
+    return QueryWorkload(
+        retrieval=generate_retrieval_workload(label),
+        aggregates=generate_aggregate_workload(
+            label, per_operator=per_operator, rng=rng
+        ),
+    )

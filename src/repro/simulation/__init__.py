@@ -1,0 +1,52 @@
+"""Synthetic driving-world + LiDAR simulator (dataset substitute)."""
+
+from repro.simulation.actors import ALL_LABELS, DEFAULT_ACTOR_TYPES, ActorTypeSpec
+from repro.simulation.datasets import (
+    ONCE_LENGTHS,
+    SEMANTICKITTI_LENGTHS,
+    SYNLIDAR_LENGTH,
+    DatasetSpec,
+    build_sequence,
+    dataset_spec,
+    once_like,
+    semantickitti_like,
+    synlidar_like,
+    with_world_overrides,
+)
+from repro.simulation.lidar import LidarConfig, LidarSensor
+from repro.simulation.scenarios import (
+    ScriptedActor,
+    ScriptedScenario,
+    empty_road_scenario,
+    highway_scenario,
+    parking_lot_scenario,
+    urban_scenario,
+)
+from repro.simulation.world import GROUND_Z, TrafficWorld, WorldConfig
+
+__all__ = [
+    "ALL_LABELS",
+    "DEFAULT_ACTOR_TYPES",
+    "ActorTypeSpec",
+    "DatasetSpec",
+    "GROUND_Z",
+    "LidarConfig",
+    "LidarSensor",
+    "ONCE_LENGTHS",
+    "SEMANTICKITTI_LENGTHS",
+    "SYNLIDAR_LENGTH",
+    "ScriptedActor",
+    "ScriptedScenario",
+    "TrafficWorld",
+    "WorldConfig",
+    "build_sequence",
+    "dataset_spec",
+    "empty_road_scenario",
+    "highway_scenario",
+    "once_like",
+    "parking_lot_scenario",
+    "semantickitti_like",
+    "synlidar_like",
+    "urban_scenario",
+    "with_world_overrides",
+]

@@ -1,0 +1,104 @@
+"""Actor types for the synthetic driving world.
+
+Actor types carry the label vocabulary used throughout the library plus
+the physical priors (size, speed) each class is sampled from.  The
+defaults approximate the class statistics of the KITTI-family datasets:
+cars dominate, pedestrians and cyclists are slower and smaller, trucks
+are rare and large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require, require_fraction, require_positive
+
+__all__ = ["ActorTypeSpec", "DEFAULT_ACTOR_TYPES", "ALL_LABELS"]
+
+
+@dataclass(frozen=True)
+class ActorTypeSpec:
+    """Sampling priors for one actor class.
+
+    Attributes
+    ----------
+    label:
+        Class name reported in annotations and detections.
+    size_mean, size_sigma:
+        Mean / standard deviation of ``(length, width, height)`` in meters.
+    speed_range:
+        ``(low, high)`` of the uniform target-speed prior in m/s.
+    spawn_weight:
+        Relative frequency of this class in the spawn mix.
+    parked_probability:
+        Chance a new actor is stationary (target speed 0) — parked cars
+        are a large fraction of real LiDAR annotations.
+    """
+
+    label: str
+    size_mean: tuple[float, float, float]
+    size_sigma: float
+    speed_range: tuple[float, float]
+    spawn_weight: float
+    parked_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(bool(self.label), "label must be non-empty")
+        require(
+            all(s > 0 for s in self.size_mean), "size_mean components must be positive"
+        )
+        require_positive(self.size_sigma, "size_sigma")
+        low, high = self.speed_range
+        require(0 <= low <= high, "speed_range must satisfy 0 <= low <= high")
+        require_positive(self.spawn_weight, "spawn_weight")
+        require_fraction(self.parked_probability, "parked_probability", inclusive=True)
+
+    def sample_size(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a plausible ``(l, w, h)`` for a new actor."""
+        size = np.asarray(self.size_mean) + rng.normal(0.0, self.size_sigma, 3)
+        return np.maximum(size, 0.3)
+
+    def sample_speed(self, rng: np.random.Generator) -> float:
+        """Draw a target cruising speed, honoring ``parked_probability``."""
+        if self.parked_probability and rng.random() < self.parked_probability:
+            return 0.0
+        low, high = self.speed_range
+        return float(rng.uniform(low, high))
+
+
+DEFAULT_ACTOR_TYPES: tuple[ActorTypeSpec, ...] = (
+    ActorTypeSpec(
+        label="Car",
+        size_mean=(4.2, 1.8, 1.6),
+        size_sigma=0.25,
+        speed_range=(3.0, 14.0),
+        spawn_weight=6.0,
+        parked_probability=0.35,
+    ),
+    ActorTypeSpec(
+        label="Pedestrian",
+        size_mean=(0.7, 0.7, 1.75),
+        size_sigma=0.08,
+        speed_range=(0.5, 2.0),
+        spawn_weight=2.0,
+    ),
+    ActorTypeSpec(
+        label="Cyclist",
+        size_mean=(1.8, 0.7, 1.7),
+        size_sigma=0.12,
+        speed_range=(2.0, 7.0),
+        spawn_weight=1.0,
+    ),
+    ActorTypeSpec(
+        label="Truck",
+        size_mean=(8.5, 2.6, 3.2),
+        size_sigma=0.5,
+        speed_range=(3.0, 11.0),
+        spawn_weight=0.6,
+        parked_probability=0.2,
+    ),
+)
+
+ALL_LABELS: tuple[str, ...] = tuple(t.label for t in DEFAULT_ACTOR_TYPES)

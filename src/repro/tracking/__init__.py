@@ -1,0 +1,21 @@
+"""Object tracks across sampled frames and trajectory-level queries."""
+
+from repro.tracking.queries import (
+    TrackMatch,
+    co_traveling_pairs,
+    track_summary,
+    tracks_within,
+)
+from repro.tracking.stitcher import StitchConfig, stitch_tracks
+from repro.tracking.tracks import Track, TrackObservation
+
+__all__ = [
+    "StitchConfig",
+    "Track",
+    "TrackMatch",
+    "TrackObservation",
+    "co_traveling_pairs",
+    "stitch_tracks",
+    "track_summary",
+    "tracks_within",
+]

@@ -1,0 +1,171 @@
+"""Trajectory-level queries over stitched tracks.
+
+These are the "more complex queries ... multi-step operations" of the
+paper's future work (§8), in the style of MIRIS [4] object-track queries
+and STAR retrieval [9] co-occurrence:
+
+* :func:`tracks_within` — tracks that satisfy a spatial filter for at
+  least a minimum *contiguous* duration (e.g. "vehicles that stayed
+  within 10 m of the ego for 5+ seconds" — persistent tailgaters rather
+  than momentary passes);
+* :func:`co_traveling_pairs` — pairs of tracks that stay within a mutual
+  distance for a minimum overlapping duration (convoy detection);
+* :func:`track_summary` — per-label track statistics for reports.
+
+All duration logic works on an evenly spaced probe grid over the track's
+observed span, using the tracks' constant-velocity interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tracking.tracks import Track
+from repro.utils.validation import require_positive
+
+__all__ = ["TrackMatch", "tracks_within", "co_traveling_pairs", "track_summary"]
+
+
+@dataclass(frozen=True)
+class TrackMatch:
+    """A track (or pair) satisfying a trajectory query."""
+
+    track_ids: tuple[int, ...]
+    label: str
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+def _longest_true_run(mask: np.ndarray, times: np.ndarray) -> tuple[float, float, float]:
+    """``(duration, start, end)`` of the longest contiguous True run."""
+    best = (0.0, 0.0, 0.0)
+    run_start = None
+    for index, flag in enumerate(mask):
+        if flag and run_start is None:
+            run_start = index
+        elif not flag and run_start is not None:
+            duration = float(times[index - 1] - times[run_start])
+            if duration > best[0]:
+                best = (duration, float(times[run_start]), float(times[index - 1]))
+            run_start = None
+    if run_start is not None:
+        duration = float(times[-1] - times[run_start])
+        if duration > best[0]:
+            best = (duration, float(times[run_start]), float(times[-1]))
+    return best
+
+
+def _probe_times(start: float, end: float, resolution: float) -> np.ndarray:
+    n_probes = max(2, int(np.ceil((end - start) / resolution)) + 1)
+    return np.linspace(start, end, n_probes)
+
+
+def tracks_within(
+    tracks: list[Track],
+    spatial_filter,
+    *,
+    min_duration: float,
+    resolution: float = 0.2,
+    label: str | None = None,
+) -> list[TrackMatch]:
+    """Tracks satisfying ``spatial_filter`` contiguously for >= ``min_duration``.
+
+    ``spatial_filter`` is any object with ``mask_positions`` (distance,
+    sector, region, conjunctions).  ``resolution`` is the probe spacing
+    in seconds.
+    """
+    require_positive(min_duration, "min_duration")
+    require_positive(resolution, "resolution")
+    matches: list[TrackMatch] = []
+    for track in tracks:
+        if label is not None and track.label != label:
+            continue
+        if track.duration < min_duration:
+            continue
+        times = _probe_times(
+            track.observations[0].timestamp,
+            track.observations[-1].timestamp,
+            resolution,
+        )
+        mask = spatial_filter.mask_positions(track.positions_at(times))
+        duration, start, end = _longest_true_run(mask, times)
+        if duration >= min_duration:
+            matches.append(
+                TrackMatch(
+                    track_ids=(track.track_id,),
+                    label=track.label,
+                    start_time=start,
+                    end_time=end,
+                )
+            )
+    return matches
+
+
+def co_traveling_pairs(
+    tracks: list[Track],
+    *,
+    max_gap: float,
+    min_duration: float,
+    resolution: float = 0.2,
+    label: str | None = None,
+) -> list[TrackMatch]:
+    """Pairs of tracks staying within ``max_gap`` meters of each other
+    for >= ``min_duration`` contiguous seconds (convoy/platoon detection).
+    """
+    require_positive(max_gap, "max_gap")
+    require_positive(min_duration, "min_duration")
+    candidates = [
+        t for t in tracks if (label is None or t.label == label)
+        and t.duration >= min_duration
+    ]
+    matches: list[TrackMatch] = []
+    for i, track_a in enumerate(candidates):
+        for track_b in candidates[i + 1 :]:
+            start = max(
+                track_a.observations[0].timestamp,
+                track_b.observations[0].timestamp,
+            )
+            end = min(
+                track_a.observations[-1].timestamp,
+                track_b.observations[-1].timestamp,
+            )
+            if end - start < min_duration:
+                continue
+            times = _probe_times(start, end, resolution)
+            gap = np.linalg.norm(
+                track_a.positions_at(times) - track_b.positions_at(times), axis=1
+            )
+            duration, run_start, run_end = _longest_true_run(gap <= max_gap, times)
+            if duration >= min_duration:
+                matches.append(
+                    TrackMatch(
+                        track_ids=(track_a.track_id, track_b.track_id),
+                        label=track_a.label,
+                        start_time=run_start,
+                        end_time=run_end,
+                    )
+                )
+    return matches
+
+
+def track_summary(tracks: list[Track]) -> dict[str, dict[str, float]]:
+    """Per-label track statistics: count, mean duration, mean speed,
+    closest approach."""
+    by_label: dict[str, list[Track]] = {}
+    for track in tracks:
+        by_label.setdefault(track.label, []).append(track)
+    summary: dict[str, dict[str, float]] = {}
+    for label, group in sorted(by_label.items()):
+        summary[label] = {
+            "count": float(len(group)),
+            "mean_duration": float(np.mean([t.duration for t in group])),
+            "mean_speed": float(np.mean([t.mean_speed() for t in group])),
+            "min_distance": float(min(t.min_distance() for t in group)),
+        }
+    return summary

@@ -1,0 +1,136 @@
+"""Track stitching across the sampled timeline.
+
+Runs per-label Hungarian matching (the same machinery as ST-PC
+analysis, Alg. 1) between every consecutive pair of sampled frames and
+chains the matches into :class:`~repro.tracking.tracks.Track` objects.
+A physical gate — objects cannot move faster than ``max_speed`` relative
+to the sensor — rejects implausible associations across long gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sampler import SamplingResult
+from repro.core.stpc import match_by_label
+from repro.tracking.tracks import Track, TrackObservation
+from repro.utils.validation import require_positive
+
+__all__ = ["StitchConfig", "stitch_tracks"]
+
+
+@dataclass(frozen=True)
+class StitchConfig:
+    """Parameters of the track stitcher."""
+
+    #: Maximum plausible relative speed (m/s) for gating associations.
+    #: Relative speeds combine object and ego motion; highway closing
+    #: speeds reach ~60 m/s.
+    max_speed: float = 40.0
+    #: Detections below this confidence are not tracked.
+    confidence: float = 0.5
+    #: Tracks with fewer sightings are discarded (detector-noise ghosts).
+    min_observations: int = 2
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_speed, "max_speed")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+
+
+def stitch_tracks(
+    result: SamplingResult, config: StitchConfig | None = None
+) -> list[Track]:
+    """Chain detections of consecutive sampled frames into tracks.
+
+    Returns tracks sorted by first frame, then track id.  Objects missed
+    by the detector at one sampled frame end their track (no re-
+    identification across holes — conservative, like Alg. 1's pairwise
+    model).
+    """
+    config = config or StitchConfig()
+    sampled = [int(i) for i in result.sampled_ids]
+    if not sampled:
+        return []
+
+    timestamps = result.timestamps
+    detection_sets = {
+        frame_id: _confident(result.detections[frame_id], config.confidence)
+        for frame_id in sampled
+    }
+
+    next_track_id = 0
+    finished: list[Track] = []
+    # Open tracks keyed by the object's row index in the previous frame.
+    open_tracks: dict[int, Track] = {}
+
+    previous = sampled[0]
+    first_objects = detection_sets[previous]
+    for row in range(len(first_objects)):
+        open_tracks[row] = _new_track(
+            next_track_id, first_objects, row, previous, timestamps
+        )
+        next_track_id += 1
+
+    for current in sampled[1:]:
+        previous_objects = detection_sets[previous]
+        current_objects = detection_sets[current]
+        gate = config.max_speed * float(timestamps[current] - timestamps[previous])
+        pairs, _unmatched_previous, _unmatched_current = match_by_label(
+            previous_objects, current_objects, max_distance=gate
+        )
+
+        matched_rows = {i: j for i, j in pairs}
+        new_open: dict[int, Track] = {}
+        for row, track in open_tracks.items():
+            if row in matched_rows:
+                new_row = matched_rows[row]
+                track.observations.append(
+                    _observation(current_objects, new_row, current, timestamps)
+                )
+                new_open[new_row] = track
+            else:
+                finished.append(track)
+
+        # Objects appearing at the current frame start fresh tracks.
+        tracked_targets = set(matched_rows.values())
+        for row in range(len(current_objects)):
+            if row not in tracked_targets:
+                track = _new_track(
+                    next_track_id, current_objects, row, current, timestamps
+                )
+                next_track_id += 1
+                new_open[row] = track
+
+        open_tracks = new_open
+        previous = current
+
+    finished.extend(open_tracks.values())
+    kept = [
+        track for track in finished if len(track) >= config.min_observations
+    ]
+    return sorted(kept, key=lambda t: (t.first_frame, t.track_id))
+
+
+# ----------------------------------------------------------------------
+def _confident(objects, confidence):
+    return objects.filter(objects.scores >= confidence)
+
+
+def _observation(objects, row, frame_id, timestamps) -> TrackObservation:
+    return TrackObservation(
+        frame_id=frame_id,
+        timestamp=float(timestamps[frame_id]),
+        position=objects.centers[row, :2].copy(),
+        score=float(objects.scores[row]),
+    )
+
+
+def _new_track(track_id, objects, row, frame_id, timestamps) -> Track:
+    return Track(
+        track_id=track_id,
+        label=str(objects.labels[row]),
+        observations=[_observation(objects, row, frame_id, timestamps)],
+    )

@@ -1,0 +1,134 @@
+"""Object tracks stitched across sampled frames.
+
+ST-PC analysis (paper Alg. 1) tracks objects between *one* pair of
+sampled frames.  Chaining those matches across every consecutive pair
+yields full object **tracks** over the sampled timeline, which unlocks
+the trajectory-level queries the paper positions as future work (§8) and
+related work (MIRIS [4], STAR retrieval [9]): "objects that stayed
+within r of the vehicle for at least T seconds", co-travel detection,
+speed profiles.
+
+A :class:`Track` stores its observations (sampled frames only — where
+the deep model actually ran) and interpolates positions for unsampled
+times with the same constant-velocity model the index uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["TrackObservation", "Track"]
+
+
+@dataclass(frozen=True)
+class TrackObservation:
+    """One sighting of a tracked object at a sampled frame."""
+
+    frame_id: int
+    timestamp: float
+    position: np.ndarray  # sensor-frame xy
+    score: float
+
+    def __post_init__(self) -> None:
+        position = np.asarray(self.position, dtype=float)
+        if position.shape != (2,):
+            raise ValueError(f"position must have shape (2,), got {position.shape}")
+        object.__setattr__(self, "position", position)
+
+
+@dataclass
+class Track:
+    """A single object's trajectory across sampled frames."""
+
+    track_id: int
+    label: str
+    observations: list[TrackObservation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require(bool(self.observations), "a track needs at least one observation")
+        frames = [obs.frame_id for obs in self.observations]
+        require(frames == sorted(set(frames)), "observations must be frame-ordered")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    @property
+    def first_frame(self) -> int:
+        return self.observations[0].frame_id
+
+    @property
+    def last_frame(self) -> int:
+        return self.observations[-1].frame_id
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last sighting."""
+        return self.observations[-1].timestamp - self.observations[0].timestamp
+
+    def positions(self) -> np.ndarray:
+        """Observed xy positions, shape ``(len(self), 2)``."""
+        return np.stack([obs.position for obs in self.observations])
+
+    def timestamps(self) -> np.ndarray:
+        """Observation timestamps, shape ``(len(self),)``."""
+        return np.array([obs.timestamp for obs in self.observations])
+
+    # ------------------------------------------------------------------
+    # Kinematics
+    # ------------------------------------------------------------------
+    def position_at(self, timestamp: float) -> np.ndarray:
+        """Interpolated sensor-frame position at ``timestamp``.
+
+        Linear (constant-velocity) between observations; clamped to the
+        endpoints outside the observed span — consistent with the ST
+        prediction model.
+        """
+        times = self.timestamps()
+        points = self.positions()
+        x = np.interp(timestamp, times, points[:, 0])
+        y = np.interp(timestamp, times, points[:, 1])
+        return np.array([x, y])
+
+    def positions_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`position_at` for many timestamps."""
+        timestamps = np.asarray(timestamps, dtype=float)
+        times = self.timestamps()
+        points = self.positions()
+        return np.column_stack(
+            [
+                np.interp(timestamps, times, points[:, 0]),
+                np.interp(timestamps, times, points[:, 1]),
+            ]
+        )
+
+    def distances_at(self, timestamps: np.ndarray) -> np.ndarray:
+        """Interpolated distance from the sensor at many timestamps."""
+        positions = self.positions_at(timestamps)
+        return np.hypot(positions[:, 0], positions[:, 1])
+
+    def mean_speed(self) -> float:
+        """Average sensor-frame speed between observations (m/s)."""
+        if len(self) < 2 or self.duration <= 0:
+            return 0.0
+        steps = np.diff(self.positions(), axis=0)
+        path_length = float(np.linalg.norm(steps, axis=1).sum())
+        return path_length / self.duration
+
+    def min_distance(self) -> float:
+        """Closest observed approach to the sensor (m)."""
+        positions = self.positions()
+        return float(np.hypot(positions[:, 0], positions[:, 1]).min())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Track(id={self.track_id}, label={self.label!r}, "
+            f"sightings={len(self)}, frames=[{self.first_frame}, "
+            f"{self.last_frame}], duration={self.duration:.1f}s)"
+        )

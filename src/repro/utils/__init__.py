@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG derivation, validation, logging."""
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+from repro.utils.validation import (
+    require,
+    require_fraction,
+    require_in,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "spawn_seeds",
+    "require",
+    "require_fraction",
+    "require_in",
+    "require_non_negative",
+    "require_positive",
+]

@@ -1,0 +1,88 @@
+"""Cost accounting for the query-processing pipeline.
+
+The paper's efficiency results (Figs. 5-6, §6.1) hinge on the *ratio*
+between deep-model inference time (~0.1 s per frame on their GPU) and the
+much cheaper policy/index/query computation.  Without a GPU we reproduce
+those results by *charging* simulated seconds for model invocations (each
+model declares its per-frame cost) while measuring real wall-clock time
+for the computation we actually perform.  A :class:`CostLedger` keeps
+both, broken down by pipeline stage.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["CostLedger", "STAGE_MODEL", "STAGE_POLICY", "STAGE_INDEX", "STAGE_QUERY"]
+
+STAGE_MODEL = "deep_model"
+STAGE_POLICY = "policy"
+STAGE_INDEX = "indexing"
+STAGE_QUERY = "query"
+
+
+@dataclass
+class CostLedger:
+    """Accumulates simulated and measured seconds per pipeline stage."""
+
+    simulated: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    measured: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def charge(self, stage: str, seconds: float, *, count: int = 1) -> None:
+        """Charge ``seconds`` of *simulated* time to ``stage``.
+
+        Used for deep-model invocations whose real cost (GPU inference)
+        is not incurred in this environment.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time ({seconds})")
+        self.simulated[stage] += seconds
+        self.counts[stage] += count
+
+    @contextmanager
+    def measure(self, stage: str):
+        """Context manager adding elapsed wall-clock time to ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.measured[stage] += time.perf_counter() - start
+            self.counts[stage] += 1
+
+    def merge(self, other: CostLedger) -> None:
+        """Fold another ledger's charges into this one."""
+        for stage, sec in other.simulated.items():
+            self.simulated[stage] += sec
+        for stage, sec in other.measured.items():
+            self.measured[stage] += sec
+        for stage, n in other.counts.items():
+            self.counts[stage] += n
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total(self, stage: str) -> float:
+        """Simulated + measured seconds attributed to ``stage``."""
+        return self.simulated.get(stage, 0.0) + self.measured.get(stage, 0.0)
+
+    @property
+    def grand_total(self) -> float:
+        """Simulated + measured seconds across all stages."""
+        stages = set(self.simulated) | set(self.measured)
+        return sum(self.total(stage) for stage in stages)
+
+    def summary(self) -> dict[str, float]:
+        """Stage -> total seconds, for reports."""
+        stages = sorted(set(self.simulated) | set(self.measured))
+        return {stage: self.total(stage) for stage in stages}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self.summary().items())
+        return f"CostLedger({parts})"

@@ -1,0 +1,62 @@
+"""Small argument-validation helpers used across the library.
+
+These keep public constructors terse while producing consistent,
+informative error messages.  All raise ``ValueError`` (or the supplied
+exception type) so callers can rely on a single exception family for
+bad inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Container
+from typing import TypeVar
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_fraction",
+    "require_in",
+]
+
+T = TypeVar("T")
+
+
+def require(condition: bool, message: str, exc: type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate ``value >= 0`` and return it."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_fraction(value: float, name: str, *, inclusive: bool = False) -> float:
+    """Validate that ``value`` lies in ``(0, 1)`` (or ``[0, 1]``) and return it.
+
+    The open interval is the default because the paper's ratios
+    (sampling budget, uniform fraction beta) are strictly between 0 and 1.
+    """
+    ok = 0 <= value <= 1 if inclusive else 0 < value < 1
+    if not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def require_in(value: T, options: Container[T], name: str) -> T:
+    """Validate that ``value`` is one of ``options`` and return it."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value

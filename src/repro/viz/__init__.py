@@ -1,0 +1,12 @@
+"""Terminal visualization: BEV scene rendering, sparklines, strip charts."""
+
+from repro.viz.bev import render_bev, render_tracks
+from repro.viz.charts import sparkline, strip_chart, text_histogram
+
+__all__ = [
+    "render_bev",
+    "render_tracks",
+    "sparkline",
+    "strip_chart",
+    "text_histogram",
+]

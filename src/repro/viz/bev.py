@@ -1,0 +1,119 @@
+"""Bird's-eye-view ASCII rendering of scenes and tracks.
+
+Terminal-friendly visual debugging: render a frame's object set (real,
+predicted, or ground truth) as a top-down character grid with the sensor
+at the center, or overlay track trajectories.  Used by examples and
+handy in a REPL when inspecting why a query matched a frame.
+"""
+
+from __future__ import annotations
+
+from repro.data.annotations import ObjectArray
+from repro.utils.validation import require, require_positive
+
+__all__ = ["render_bev", "render_tracks"]
+
+#: Marker per label (first letter, lowercase for low-confidence boxes).
+_MARKERS = {
+    "Car": "C",
+    "Pedestrian": "P",
+    "Cyclist": "Y",
+    "Truck": "T",
+}
+
+
+def _grid(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _to_cell(
+    x: float, y: float, extent: float, width: int, height: int
+) -> tuple[int, int] | None:
+    """Map sensor-frame (x fwd, y left) to (row, col); None if outside.
+
+    Forward (+x) points up; left (+y) points left on screen.
+    """
+    if abs(x) > extent or abs(y) > extent:
+        return None
+    col = int((extent - y) / (2 * extent) * (width - 1))
+    row = int((extent - x) / (2 * extent) * (height - 1))
+    return row, col
+
+
+def render_bev(
+    objects: ObjectArray,
+    *,
+    extent: float = 40.0,
+    width: int = 61,
+    height: int = 31,
+    confidence: float = 0.5,
+) -> str:
+    """Render one object set as an ASCII bird's-eye view.
+
+    The sensor sits at the center (``^``, facing up); objects show as
+    their label's letter, lowercased when their confidence is below
+    ``confidence`` (ghost/appearing boxes of ST prediction).
+    """
+    require_positive(extent, "extent")
+    require(width >= 11 and height >= 11, "grid must be at least 11x11")
+    grid = _grid(width, height)
+
+    for i in range(len(objects)):
+        cell = _to_cell(
+            float(objects.centers[i, 0]),
+            float(objects.centers[i, 1]),
+            extent,
+            width,
+            height,
+        )
+        if cell is None:
+            continue
+        marker = _MARKERS.get(str(objects.labels[i]), "?")
+        if objects.scores[i] < confidence:
+            marker = marker.lower()
+        grid[cell[0]][cell[1]] = marker
+
+    center = _to_cell(0.0, 0.0, extent, width, height)
+    if center is not None:
+        grid[center[0]][center[1]] = "^"
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = (
+        f"extent ±{extent:g} m; ^ = sensor (facing up); "
+        "C/P/Y/T = car/pedestrian/cyclist/truck; lowercase = conf < "
+        f"{confidence:g}"
+    )
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def render_tracks(
+    tracks,
+    *,
+    extent: float = 40.0,
+    width: int = 61,
+    height: int = 31,
+    max_tracks: int = 10,
+) -> str:
+    """Overlay track trajectories as numbered paths.
+
+    Each of the first ``max_tracks`` tracks draws its observed path with
+    the last digit of its track id; later points overwrite earlier ones.
+    """
+    require_positive(extent, "extent")
+    grid = _grid(width, height)
+    for track in list(tracks)[:max_tracks]:
+        digit = str(track.track_id % 10)
+        for position in track.positions():
+            cell = _to_cell(float(position[0]), float(position[1]),
+                            extent, width, height)
+            if cell is not None:
+                grid[cell[0]][cell[1]] = digit
+
+    center = _to_cell(0.0, 0.0, extent, width, height)
+    if center is not None:
+        grid[center[0]][center[1]] = "^"
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}\nfirst {max_tracks} tracks, digit = id % 10"

@@ -1,0 +1,79 @@
+"""Text charts: sparklines, strip charts with sample marks, histograms.
+
+These render the paper's figure-style data (count signals, sampling
+positions, distributions) in plain text — the benchmark harness uses
+them so every figure has a terminal-readable form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+__all__ = ["sparkline", "strip_chart", "text_histogram"]
+
+_LEVELS = " .:-=+*#%@"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, ascii_only: bool = False) -> str:
+    """One-line sparkline of a numeric series."""
+    values = np.asarray(values, dtype=float)
+    require(values.size > 0, "values must be non-empty")
+    levels = _LEVELS[1:] if ascii_only else _BLOCKS
+    low, high = float(values.min()), float(values.max())
+    span = max(high - low, 1e-12)
+    scaled = (values - low) / span
+    return "".join(levels[int(v * (len(levels) - 1))] for v in scaled)
+
+
+def strip_chart(
+    y,
+    mark_positions=None,
+    *,
+    width: int = 100,
+    y_label: str = "y(t)",
+    mark_label: str = "samp",
+) -> str:
+    """A downsampled intensity strip of ``y`` with optional marks under it.
+
+    This is the Fig.-12 rendering: the signal as character intensities,
+    sample positions as carets.  ``mark_positions`` are indices into
+    ``y``.
+    """
+    y = np.asarray(y, dtype=float)
+    require(len(y) >= 2, "y must have at least two points")
+    require_positive(width, "width")
+    width = min(width, len(y))
+    edges = np.linspace(0, len(y), width + 1).astype(int)
+    values = np.array(
+        [y[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+    )
+    low, high = float(values.min()), float(values.max())
+    span = max(high - low, 1e-12)
+    scaled = (values - low) / span
+    chart = "".join(_LEVELS[int(v * (len(_LEVELS) - 1))] for v in scaled)
+    lines = [f"{y_label}: {chart}"]
+    if mark_positions is not None:
+        marks = np.zeros(width, dtype=bool)
+        for position in np.asarray(mark_positions, dtype=np.int64):
+            marks[min(int(position * width / len(y)), width - 1)] = True
+        lines.append(
+            f"{mark_label}: " + "".join("^" if m else " " for m in marks)
+        )
+    return "\n".join(lines)
+
+
+def text_histogram(values, *, bins: int = 10, width: int = 40) -> str:
+    """A horizontal-bar histogram."""
+    values = np.asarray(values, dtype=float)
+    require(values.size > 0, "values must be non-empty")
+    require(bins >= 1, "bins must be >= 1")
+    counts, edges = np.histogram(values, bins=bins)
+    top = max(int(counts.max()), 1)
+    lines = []
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / top))
+        lines.append(f"[{low:8.2f}, {high:8.2f})  {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic sequences and models.
+
+Session-scoped because sequence generation and detection are pure
+functions of their seeds — reusing them across tests is safe and keeps
+the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MASTConfig
+from repro.models import GroundTruthDetector, pv_rcnn
+from repro.simulation import once_like, semantickitti_like
+
+
+@pytest.fixture(scope="session")
+def kitti_sequence():
+    """A 400-frame KITTI-shaped sequence without point providers."""
+    return semantickitti_like(0, n_frames=400, with_points=False)
+
+
+@pytest.fixture(scope="session")
+def kitti_sequence_points():
+    """A short KITTI-shaped sequence with lazy LiDAR points."""
+    return semantickitti_like(0, n_frames=40)
+
+
+@pytest.fixture(scope="session")
+def once_sequence():
+    """A 200-frame ONCE-shaped (2 FPS) sequence."""
+    return once_like(0, n_frames=200, with_points=False)
+
+
+@pytest.fixture(scope="session")
+def detector():
+    """The default simulated PV-RCNN oracle."""
+    return pv_rcnn(seed=7)
+
+
+@pytest.fixture(scope="session")
+def exact_detector():
+    """A perfect detector for tests where noise would obscure behaviour."""
+    return GroundTruthDetector()
+
+
+@pytest.fixture()
+def config():
+    """Default MAST config with a fixed seed."""
+    return MASTConfig(seed=11)

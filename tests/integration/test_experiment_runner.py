@@ -1,0 +1,118 @@
+"""Integration tests for the experiment runner (the bench harness core)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ABLATION_METHODS, ORACLE, PAPER_METHODS
+from repro.core import MASTConfig
+from repro.evalx import run_experiment
+from repro.models import pv_rcnn, second
+from repro.query import generate_workload
+from repro.simulation import semantickitti_like
+
+
+@pytest.fixture(scope="module")
+def report():
+    sequence = semantickitti_like(0, n_frames=600, with_points=False)
+    workload = generate_workload(rng=0)
+    return run_experiment(
+        sequence, pv_rcnn(seed=5), workload, config=MASTConfig(seed=1)
+    )
+
+
+class TestReportStructure:
+    def test_all_methods_present(self, report):
+        assert set(report.methods) == {m.name for m in PAPER_METHODS}
+
+    def test_zero_cardinality_queries_dropped(self, report):
+        assert 0 < report.n_retrieval_queries <= 100
+
+    def test_retrieval_evaluations_complete(self, report):
+        for method_report in report.methods.values():
+            assert len(method_report.retrieval) == report.n_retrieval_queries
+
+    def test_aggregate_evaluations_complete(self, report):
+        for method_report in report.methods.values():
+            assert len(method_report.aggregates) == report.n_aggregate_queries
+
+    def test_metrics_in_unit_range(self, report):
+        for method_report in report.methods.values():
+            for evaluation in method_report.retrieval + method_report.aggregates:
+                assert 0.0 <= evaluation.metric <= 1.0
+
+    def test_selectivities_recorded(self, report):
+        for evaluation in report["mast"].retrieval:
+            assert 0.0 < evaluation.selectivity <= 1.0
+
+    def test_aggregate_accuracy_by_operator(self, report):
+        accuracy = report["mast"].aggregate_accuracy_by_operator()
+        assert set(accuracy) == {"Avg", "Med", "Count", "Min", "Max"}
+        assert all(0.0 <= v <= 100.0 for v in accuracy.values())
+
+    def test_ledgers_populated(self, report):
+        assert report.oracle_ledger.total("deep_model") > 0
+        for method_report in report.methods.values():
+            assert method_report.ledger.total("deep_model") > 0
+
+    def test_sampling_attached(self, report):
+        assert report["mast"].sampling is not None
+        assert report["seiden_pc"].sampling is not None
+
+
+class TestResultQuality:
+    def test_all_methods_beat_trivial_f1(self, report):
+        for method_report in report.methods.values():
+            assert method_report.mean_retrieval_f1 > 0.5
+
+    def test_method_model_cost_is_budget_share(self, report):
+        oracle_cost = report.oracle_ledger.total("deep_model")
+        for method_report in report.methods.values():
+            share = method_report.ledger.total("deep_model") / oracle_cost
+            assert share == pytest.approx(0.1, abs=0.01)
+
+    def test_st_methods_have_indexing_cost(self, report):
+        assert report["mast"].ledger.total("indexing") > 0
+        assert report["seiden_pcst"].ledger.total("indexing") > 0
+        assert report["seiden_pc"].ledger.total("indexing") == 0
+
+
+class TestVariants:
+    def test_oracle_method_scores_perfectly(self):
+        sequence = semantickitti_like(0, n_frames=200, with_points=False)
+        workload = generate_workload(rng=0)
+        report = run_experiment(
+            sequence, pv_rcnn(seed=5), workload,
+            methods=(ORACLE,), config=MASTConfig(seed=1),
+        )
+        oracle_report = report["oracle"]
+        assert oracle_report.mean_retrieval_f1 == pytest.approx(1.0)
+        for evaluation in oracle_report.aggregates:
+            assert evaluation.metric == pytest.approx(1.0)
+
+    def test_ablation_methods_run(self):
+        sequence = semantickitti_like(0, n_frames=300, with_points=False)
+        workload = generate_workload(rng=0)
+        report = run_experiment(
+            sequence, pv_rcnn(seed=5), workload,
+            methods=ABLATION_METHODS, config=MASTConfig(seed=1),
+        )
+        assert set(report.methods) == {m.name for m in ABLATION_METHODS}
+
+    def test_other_oracle_model(self):
+        sequence = semantickitti_like(0, n_frames=300, with_points=False)
+        workload = generate_workload(rng=0)
+        report = run_experiment(
+            sequence, second(seed=5), workload, config=MASTConfig(seed=1)
+        )
+        assert report.model == "second"
+        assert report["mast"].mean_retrieval_f1 > 0.5
+
+    def test_determinism(self):
+        sequence = semantickitti_like(0, n_frames=200, with_points=False)
+        workload = generate_workload(rng=0)
+        a = run_experiment(sequence, pv_rcnn(seed=5), workload, config=MASTConfig(seed=1))
+        b = run_experiment(sequence, pv_rcnn(seed=5), workload, config=MASTConfig(seed=1))
+        assert a["mast"].mean_retrieval_f1 == b["mast"].mean_retrieval_f1
+        assert np.array_equal(
+            a["mast"].sampling.sampled_ids, b["mast"].sampling.sampled_ids
+        )

@@ -1,0 +1,92 @@
+"""Property-based tests for the Thm 6.1 error bounds.
+
+The theorem's assumptions are generated directly: Lipschitz signals via
+bounded increments, sample sets containing every local extremum plus the
+endpoints.  Under those assumptions the Avg / Med / Count errors must
+stay below their bounds for *every* generated instance.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evalx import (
+    compute_error_bounds,
+    estimate_lipschitz,
+    local_extrema,
+    observed_errors,
+    piecewise_linear_approximation,
+)
+
+
+@st.composite
+def lipschitz_instances(draw):
+    n = draw(st.integers(min_value=30, max_value=400))
+    lipschitz = draw(st.floats(min_value=0.05, max_value=3.0))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    steps = rng.uniform(-lipschitz, lipschitz, n - 1)
+    y = np.concatenate([[10.0], 10.0 + np.cumsum(steps)])
+    # Sample set: all extrema + endpoints + a few random frames.
+    minima, maxima = local_extrema(y)
+    ids = set(minima.tolist()) | set(maxima.tolist()) | {0, n - 1}
+    n_extra = draw(st.integers(min_value=0, max_value=20))
+    ids |= set(int(i) for i in rng.integers(0, n, n_extra))
+    return y, np.array(sorted(ids)), lipschitz
+
+
+@given(lipschitz_instances())
+@settings(max_examples=80, deadline=None)
+def test_avg_and_med_bounds_hold(instance):
+    y, ids, lipschitz = instance
+    bounds = compute_error_bounds(y[ids], ids, len(y), lipschitz=lipschitz)
+    errors = observed_errors(y, ids)
+    assert errors["avg"] <= bounds.avg_bound + 1e-9
+    assert errors["med"] <= bounds.med_bound + 1e-9
+
+
+@given(lipschitz_instances(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=80, deadline=None)
+def test_count_bound_holds(instance, theta_quantile):
+    y, ids, lipschitz = instance
+    theta = float(np.quantile(y, theta_quantile))
+    bounds = compute_error_bounds(y[ids], ids, len(y), lipschitz=lipschitz)
+    errors = observed_errors(y, ids, theta=theta)
+    assert errors["count"] <= bounds.count_bound + 1e-9
+
+
+@given(lipschitz_instances())
+@settings(max_examples=80, deadline=None)
+def test_pointwise_lemma_a2(instance):
+    """Lemma A.2: |y^a(t) - y(t)| <= (L/4) * enclosing gap length."""
+    y, ids, lipschitz = instance
+    approx = piecewise_linear_approximation(y[ids], ids, len(y))
+    for left, right in zip(ids[:-1], ids[1:]):
+        gap = right - left
+        segment_error = np.abs(approx[left:right + 1] - y[left:right + 1]).max()
+        assert segment_error <= lipschitz * gap / 4.0 + 1e-9
+
+
+@given(lipschitz_instances())
+@settings(max_examples=50, deadline=None)
+def test_lipschitz_estimate_never_exceeds_true_constant(instance):
+    y, ids, lipschitz = instance
+    assert estimate_lipschitz(y) <= lipschitz + 1e-9
+    assert estimate_lipschitz(y[ids], ids.astype(float)) <= lipschitz + 1e-9
+
+
+@given(lipschitz_instances())
+@settings(max_examples=50, deadline=None)
+def test_refining_samples_never_worsens_avg_bound(instance):
+    """Adding the midpoint of the largest gap cannot increase A_S."""
+    y, ids, lipschitz = instance
+    gaps = np.diff(ids)
+    widest = int(np.argmax(gaps))
+    midpoint = int((ids[widest] + ids[widest + 1]) // 2)
+    if midpoint in set(ids.tolist()):
+        return
+    refined = np.sort(np.append(ids, midpoint))
+    before = compute_error_bounds(y[ids], ids, len(y), lipschitz=lipschitz)
+    after = compute_error_bounds(y[refined], refined, len(y), lipschitz=lipschitz)
+    assert after.avg_bound <= before.avg_bound + 1e-9
+    assert after.med_bound <= before.med_bound + 1e-9

@@ -1,0 +1,95 @@
+"""Property-based tests for geometric primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import BoundingBox3D, Pose2D, iou_bev, wrap_angle
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+positive = st.floats(min_value=0.3, max_value=20, allow_nan=False)
+angles = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+boxes = st.builds(
+    lambda cx, cy, cz, length, width, height, yaw: BoundingBox3D(
+        [cx, cy, cz], [length, width, height], yaw
+    ),
+    finite, finite, finite, positive, positive, positive, angles,
+)
+
+poses = st.builds(Pose2D, finite, finite, angles.map(wrap_angle))
+
+
+@given(angles)
+def test_wrap_angle_range(angle):
+    wrapped = wrap_angle(angle)
+    assert -np.pi < wrapped <= np.pi
+
+
+@given(angles)
+def test_wrap_angle_preserves_direction(angle):
+    wrapped = wrap_angle(angle)
+    assert np.cos(wrapped) == np.cos(angle) or abs(
+        np.cos(wrapped) - np.cos(angle)
+    ) < 1e-9
+    assert abs(np.sin(wrapped) - np.sin(angle)) < 1e-9
+
+
+@given(boxes)
+@settings(max_examples=100)
+def test_box_contains_its_center_and_corners(box):
+    assert box.contains_point(box.center)
+    for corner in box.corners():
+        assert box.contains_point(corner)
+
+
+@given(boxes)
+@settings(max_examples=100)
+def test_min_max_consistent(box):
+    assert np.all(box.max_point > box.min_point)
+    assert np.allclose((box.min_point + box.max_point) / 2, box.center)
+
+
+@given(boxes)
+@settings(max_examples=100)
+def test_self_iou_is_one(box):
+    assert abs(iou_bev(box, box) - 1.0) < 1e-6
+
+
+@given(boxes, boxes)
+@settings(max_examples=100)
+def test_iou_symmetric_and_bounded(box_a, box_b):
+    ab = iou_bev(box_a, box_b)
+    ba = iou_bev(box_b, box_a)
+    assert 0.0 <= ab <= 1.0
+    assert abs(ab - ba) < 1e-6
+
+
+@given(boxes, st.floats(min_value=-50, max_value=50), st.floats(min_value=-50, max_value=50))
+@settings(max_examples=100)
+def test_translation_preserves_iou_with_self_translate(box, dx, dy):
+    moved = box.translated([dx, dy, 0.0])
+    expected_overlap = iou_bev(box, moved)
+    # Translating both boxes together preserves their IoU.
+    both_moved = iou_bev(box.translated([5, 5, 0]), moved.translated([5, 5, 0]))
+    assert abs(expected_overlap - both_moved) < 1e-6
+
+
+@given(poses, st.lists(st.tuples(finite, finite, finite), min_size=1, max_size=10))
+@settings(max_examples=100)
+def test_pose_roundtrip(pose, points):
+    points = np.asarray(points, dtype=float)
+    back = pose.sensor_to_world(pose.world_to_sensor(points))
+    assert np.allclose(back, points, atol=1e-8)
+
+
+@given(poses, st.tuples(finite, finite))
+@settings(max_examples=100)
+def test_pose_preserves_distances(pose, point):
+    """Rigid transforms preserve distances between points."""
+    a = np.array([point[0], point[1]])
+    b = a + [3.0, 4.0]
+    ta = pose.world_to_sensor(a)
+    tb = pose.world_to_sensor(b)
+    assert abs(np.linalg.norm(ta - tb) - 5.0) < 1e-9

@@ -1,0 +1,75 @@
+"""Property-based tests for the Hungarian implementation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.optimize import linear_sum_assignment
+
+from repro.geometry import hungarian, match_with_threshold
+
+cost_matrices = st.integers(1, 8).flatmap(
+    lambda n: st.integers(1, 8).flatmap(
+        lambda m: arrays(
+            dtype=float,
+            shape=(n, m),
+            elements=st.floats(
+                min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+)
+
+
+@given(cost_matrices)
+@settings(max_examples=150, deadline=None)
+def test_optimal_total_cost_matches_scipy(cost):
+    pairs = hungarian(cost)
+    ours = sum(cost[i, j] for i, j in pairs)
+    rows, cols = linear_sum_assignment(cost)
+    assert abs(ours - cost[rows, cols].sum()) < 1e-7
+
+
+@given(cost_matrices)
+@settings(max_examples=150, deadline=None)
+def test_assignment_is_a_matching(cost):
+    pairs = hungarian(cost)
+    assert len(pairs) == min(cost.shape)
+    rows = [i for i, _ in pairs]
+    cols = [j for _, j in pairs]
+    assert len(set(rows)) == len(rows)
+    assert len(set(cols)) == len(cols)
+    assert all(0 <= i < cost.shape[0] and 0 <= j < cost.shape[1] for i, j in pairs)
+
+
+@given(cost_matrices)
+@settings(max_examples=100, deadline=None)
+def test_transpose_symmetry(cost):
+    """Matching the transpose gives the mirrored assignment cost."""
+    ours = sum(cost[i, j] for i, j in hungarian(cost))
+    mirrored = sum(cost.T[i, j] for i, j in hungarian(cost.T))
+    assert abs(ours - mirrored) < 1e-7
+
+
+@given(cost_matrices, st.floats(min_value=-50, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_constant_shift_invariance_square(cost, shift):
+    """Adding a constant to a square matrix does not change the assignment cost
+    structure (total shifts by n * shift)."""
+    n = min(cost.shape)
+    square = cost[:n, :n]
+    base = sum(square[i, j] for i, j in hungarian(square))
+    shifted = sum((square + shift)[i, j] for i, j in hungarian(square + shift))
+    assert abs(shifted - (base + n * shift)) < 1e-6
+
+
+@given(cost_matrices, st.floats(min_value=0, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_threshold_gating_consistency(cost, max_cost):
+    pairs, unmatched_rows, unmatched_cols = match_with_threshold(cost, max_cost)
+    for i, j in pairs:
+        assert cost[i, j] <= max_cost
+    all_rows = {i for i, _ in pairs} | set(unmatched_rows)
+    all_cols = {j for _, j in pairs} | set(unmatched_cols)
+    assert all_rows == set(range(cost.shape[0]))
+    assert all_cols == set(range(cost.shape[1]))

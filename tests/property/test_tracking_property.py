@@ -1,0 +1,84 @@
+"""Property-based tests for track stitching invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HierarchicalMultiAgentSampler, MASTConfig
+from repro.models import GroundTruthDetector
+from repro.simulation import ScriptedScenario
+from repro.tracking import StitchConfig, stitch_tracks
+
+
+@st.composite
+def scripted_runs(draw):
+    """A scripted scene with several constant-velocity actors."""
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n_actors = draw(st.integers(min_value=1, max_value=8))
+    duration = draw(st.sampled_from([4.0, 6.0, 8.0]))
+    scenario = ScriptedScenario(fps=10.0, duration=duration)
+    for _ in range(n_actors):
+        start = rng.uniform(-40, 40, 2)
+        velocity = rng.uniform(-8, 8, 2)
+        t0 = float(rng.uniform(0, duration / 2))
+        t1 = float(rng.uniform(t0 + 1.0, duration))
+        scenario.add_actor(
+            "Car",
+            [
+                (t0, start[0], start[1]),
+                (t1, start[0] + velocity[0] * (t1 - t0),
+                 start[1] + velocity[1] * (t1 - t0)),
+            ],
+        )
+    budget = draw(st.sampled_from([0.2, 0.4]))
+    sampler = HierarchicalMultiAgentSampler(
+        MASTConfig(seed=seed % 97, budget_fraction=budget)
+    )
+    result = sampler.sample(scenario.build(), GroundTruthDetector())
+    return result
+
+
+@given(scripted_runs())
+@settings(max_examples=30, deadline=None)
+def test_every_confident_detection_belongs_to_exactly_one_track(result):
+    config = StitchConfig(min_observations=1, confidence=0.5)
+    tracks = stitch_tracks(result, config)
+    total_observations = sum(len(t) for t in tracks)
+    total_detections = sum(
+        int(np.count_nonzero(objects.scores >= 0.5))
+        for objects in result.detections.values()
+    )
+    assert total_observations == total_detections
+
+
+@given(scripted_runs())
+@settings(max_examples=30, deadline=None)
+def test_observations_at_sampled_frames_in_order(result):
+    tracks = stitch_tracks(result, StitchConfig(min_observations=1))
+    sampled = set(int(i) for i in result.sampled_ids)
+    for track in tracks:
+        frames = [obs.frame_id for obs in track.observations]
+        assert frames == sorted(frames)
+        assert all(f in sampled for f in frames)
+        # At most one observation per frame per track.
+        assert len(set(frames)) == len(frames)
+
+
+@given(scripted_runs())
+@settings(max_examples=30, deadline=None)
+def test_track_speed_respects_gate(result):
+    config = StitchConfig(max_speed=40.0, min_observations=2)
+    for track in stitch_tracks(result, config):
+        times = track.timestamps()
+        points = track.positions()
+        steps = np.linalg.norm(np.diff(points, axis=0), axis=1)
+        dts = np.diff(times)
+        assert np.all(steps <= config.max_speed * dts + 1e-9)
+
+
+@given(scripted_runs())
+@settings(max_examples=30, deadline=None)
+def test_labels_are_uniform_within_a_track(result):
+    for track in stitch_tracks(result, StitchConfig(min_observations=1)):
+        assert track.label in ("Car", "Pedestrian", "Cyclist", "Truck")

@@ -1,0 +1,78 @@
+"""Unit tests for aggregate operators and the extension registry."""
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    CountPredicate,
+    aggregate,
+    available_aggregates,
+    register_aggregate,
+    requires_count_predicate,
+)
+
+COUNTS = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+
+
+class TestBuiltinOperators:
+    def test_avg(self):
+        assert aggregate("Avg", COUNTS) == pytest.approx(2.5)
+
+    def test_med(self):
+        assert aggregate("Med", COUNTS) == pytest.approx(2.5)
+        assert aggregate("Med", np.array([1.0, 2.0, 9.0])) == pytest.approx(2.0)
+
+    def test_min_max(self):
+        assert aggregate("Min", COUNTS) == 0.0
+        assert aggregate("Max", COUNTS) == 5.0
+
+    def test_count_with_predicate(self):
+        assert aggregate("Count", COUNTS, CountPredicate(">=", 3)) == 3.0
+        assert aggregate("Count", COUNTS, CountPredicate("<=", 0)) == 1.0
+
+    def test_count_requires_predicate(self):
+        with pytest.raises(ValueError, match="predicate"):
+            aggregate("Count", COUNTS)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown"):
+            aggregate("Sum2", COUNTS)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            aggregate("Avg", np.array([]))
+
+    def test_requires_count_predicate_flags(self):
+        assert requires_count_predicate("Count")
+        assert not requires_count_predicate("Avg")
+
+
+class TestExtensionRegistry:
+    def test_register_new_operator(self):
+        """The paper's 'minimal effort' extensibility claim (§2.1)."""
+        register_aggregate("Sum", lambda counts, _p: float(np.sum(counts)),
+                           overwrite=True)
+        assert aggregate("Sum", COUNTS) == pytest.approx(15.0)
+        assert "Sum" in available_aggregates()
+
+    def test_register_percentile(self):
+        register_aggregate(
+            "P90", lambda counts, _p: float(np.percentile(counts, 90)),
+            overwrite=True,
+        )
+        assert aggregate("P90", COUNTS) == pytest.approx(4.5)
+
+    def test_duplicate_registration_guard(self):
+        register_aggregate("Dup", lambda c, _p: 0.0, overwrite=True)
+        with pytest.raises(ValueError, match="already"):
+            register_aggregate("Dup", lambda c, _p: 0.0)
+
+    def test_register_with_count_predicate_flag(self):
+        register_aggregate(
+            "CountBelow",
+            lambda counts, pred: float(np.count_nonzero(pred.mask(counts))),
+            needs_count_predicate=True,
+            overwrite=True,
+        )
+        assert requires_count_predicate("CountBelow")
+        assert aggregate("CountBelow", COUNTS, CountPredicate("<", 2)) == 2.0

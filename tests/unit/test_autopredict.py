@@ -1,0 +1,148 @@
+"""Unit tests for leave-one-out predictor calibration."""
+
+import pytest
+
+from repro.core import (
+    HierarchicalMultiAgentSampler,
+    MASTConfig,
+    PredictorCalibration,
+    calibrate_predictors,
+)
+from repro.models import GroundTruthDetector, pv_rcnn
+from repro.query import ObjectFilter, SpatialPredicate
+from repro.simulation import ScriptedScenario, semantickitti_like
+
+FILTERS = [
+    ObjectFilter(label="Car", spatial=SpatialPredicate("<=", 20.0)),
+    ObjectFilter(label="Car", spatial=SpatialPredicate(">=", 5.0)),
+]
+
+
+def make_calibration(**kwargs):
+    defaults = dict(
+        linear_mae=1.0, st_mae=0.5, linear_bias=0.1, st_bias=0.4,
+        linear_decision_error=0.2, st_decision_error=0.1, n_evaluations=10,
+    )
+    defaults.update(kwargs)
+    return PredictorCalibration(**defaults)
+
+
+@pytest.fixture(scope="module")
+def sampling():
+    sequence = semantickitti_like(0, n_frames=600, with_points=False)
+    sampler = HierarchicalMultiAgentSampler(MASTConfig(seed=2))
+    return sampler.sample(sequence, pv_rcnn(seed=5))
+
+
+class TestPredictorCalibration:
+    def test_per_frame_winner_uses_decision_error(self):
+        calibration = make_calibration(
+            linear_decision_error=0.05, st_decision_error=0.2,
+        )
+        assert calibration.per_frame_winner == "linear"
+        assert make_calibration().per_frame_winner == "st"
+
+    def test_avg_winner_uses_bias(self):
+        assert make_calibration(linear_bias=0.1, st_bias=0.4).avg_winner == "linear"
+        assert make_calibration(linear_bias=-0.5, st_bias=0.1).avg_winner == "st"
+
+    def test_recommended_assignment_structure(self):
+        assignment = make_calibration().recommended_assignment()
+        assert set(assignment) == {"Avg", "Count", "Med", "Min", "Max"}
+        assert assignment["Count"] == "st"
+        assert assignment["Avg"] == "linear"
+
+    def test_apply_to_config(self):
+        config = make_calibration().apply_to(MASTConfig())
+        assert config.retrieval_predictor == "st"
+        assert config.predictor_by_operator["Avg"] == "linear"
+        assert config.predictor_by_operator["Med"] == "st"
+
+
+class TestCalibrateOnRealSampling:
+    def test_produces_finite_profile(self, sampling):
+        calibration = calibrate_predictors(sampling, FILTERS)
+        assert calibration.n_evaluations > 0
+        assert calibration.linear_mae >= 0
+        assert calibration.st_mae >= 0
+        assert 0.0 <= calibration.st_decision_error <= 1.0
+
+    def test_max_holdouts_cap(self, sampling):
+        small = calibrate_predictors(sampling, FILTERS, max_holdouts=10)
+        large = calibrate_predictors(sampling, FILTERS, max_holdouts=200)
+        assert small.n_evaluations <= large.n_evaluations
+
+    def test_requires_filters_and_samples(self, sampling):
+        with pytest.raises(ValueError, match="filter"):
+            calibrate_predictors(sampling, [])
+
+    def test_deterministic(self, sampling):
+        a = calibrate_predictors(sampling, FILTERS)
+        b = calibrate_predictors(sampling, FILTERS)
+        assert a == b
+
+
+class TestRegimeSensitivity:
+    """Calibration must pick the right predictor where the winner is
+    unambiguous by construction."""
+
+    def test_constant_velocity_world_prefers_st(self):
+        """Pure constant-velocity motion: ST prediction is *exact* while
+        linear count interpolation misses every mid-gap crossing."""
+        scenario = ScriptedScenario(fps=10.0, duration=20.0)
+        # Cars sweep through a 20 m disc at staggered times: counts rise
+        # and fall inside gaps.
+        for k in range(10):
+            scenario.add_actor(
+                "Car",
+                [(0.0, -60.0 + 7 * k, 3.0 * (k % 3)),
+                 (20.0, 80.0 + 7 * k, 3.0 * (k % 3))],
+            )
+        sequence = scenario.build()
+        sampler = HierarchicalMultiAgentSampler(
+            MASTConfig(seed=1, budget_fraction=0.15)
+        )
+        sampling = sampler.sample(sequence, GroundTruthDetector())
+        calibration = calibrate_predictors(
+            sampling,
+            [ObjectFilter(label="Car", spatial=SpatialPredicate("<=", 20.0),
+                          confidence=0.0)],
+        )
+        assert calibration.st_mae <= calibration.linear_mae + 1e-9
+        assert calibration.per_frame_winner == "st"
+
+    def test_static_world_keeps_both_predictors_exact(self):
+        """Nothing moves: both predictors are exact, errors are zero."""
+        scenario = ScriptedScenario(fps=10.0, duration=10.0)
+        for k in range(5):
+            scenario.add_actor(
+                "Car", [(0.0, 5.0 + 3 * k, 0.0), (10.0, 5.0 + 3 * k, 0.0)]
+            )
+        sampling = HierarchicalMultiAgentSampler(
+            MASTConfig(seed=1, budget_fraction=0.2)
+        ).sample(scenario.build(), GroundTruthDetector())
+        calibration = calibrate_predictors(
+            sampling,
+            [ObjectFilter(label="Car", confidence=0.0)],
+        )
+        assert calibration.linear_mae == pytest.approx(0.0, abs=1e-9)
+        assert calibration.st_mae == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPipelineIntegration:
+    def test_pipeline_calibration_installs_assignment(self):
+        from repro.core import MASTPipeline
+
+        sequence = semantickitti_like(0, n_frames=400, with_points=False)
+        pipeline = MASTPipeline(MASTConfig(seed=2)).fit(sequence, pv_rcnn(seed=5))
+        calibration = pipeline.calibrate_predictors(FILTERS)
+        expected = calibration.recommended_assignment()
+        assert pipeline.config.predictor_by_operator == expected
+        # Queries still run after recalibration.
+        pipeline.query("SELECT AVG OF COUNT(Car DIST <= 20)")
+
+    def test_pipeline_calibration_requires_fit(self):
+        from repro.core import MASTPipeline
+
+        with pytest.raises(ValueError, match="fit"):
+            MASTPipeline().calibrate_predictors(FILTERS)

@@ -1,0 +1,161 @@
+"""Unit tests for the Thm 6.1 error-bound module."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import (
+    a_constant,
+    b_constant,
+    budget_for_average_error,
+    c_constant,
+    compute_error_bounds,
+    estimate_lipschitz,
+    observed_errors,
+    piecewise_linear_approximation,
+)
+
+
+def lipschitz_signal(n=500, L=0.5, seed=0):
+    """A random signal with |slope| <= L per frame step."""
+    rng = np.random.default_rng(seed)
+    steps = rng.uniform(-L, L, n - 1)
+    return np.concatenate([[5.0], 5.0 + np.cumsum(steps)])
+
+
+class TestPiecewiseLinear:
+    def test_agrees_at_samples(self):
+        y = lipschitz_signal()
+        ids = np.array([0, 100, 200, 499])
+        approx = piecewise_linear_approximation(y[ids], ids, len(y))
+        assert np.allclose(approx[ids], y[ids])
+
+    def test_linear_between_samples(self):
+        ids = np.array([0, 10])
+        approx = piecewise_linear_approximation(np.array([0.0, 10.0]), ids, 11)
+        assert np.allclose(approx, np.arange(11.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            piecewise_linear_approximation(np.array([1.0]), np.array([0]), 10)
+        with pytest.raises(ValueError):
+            piecewise_linear_approximation(
+                np.array([1.0, 2.0]), np.array([5, 2]), 10
+            )
+
+
+class TestLipschitzEstimate:
+    def test_linear_signal(self):
+        y = 2.0 * np.arange(10.0)
+        assert estimate_lipschitz(y) == pytest.approx(2.0)
+
+    def test_with_timestamps(self):
+        y = np.array([0.0, 1.0])
+        assert estimate_lipschitz(y, np.array([0.0, 0.5])) == pytest.approx(2.0)
+
+    def test_sampled_estimate_is_lower_bound(self):
+        y = lipschitz_signal(L=0.5)
+        ids = np.arange(0, len(y), 7)
+        assert estimate_lipschitz(y[ids], ids.astype(float)) <= estimate_lipschitz(y) + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_lipschitz(np.array([1.0]))
+
+
+class TestConstants:
+    def test_a_constant_uniform_gaps(self):
+        """Uniform gap g over n frames: A_S ~ n / (4 |S|)."""
+        n, gap = 1000, 10
+        ids = np.arange(0, n, gap)
+        ids[-1] = n - 1
+        value = a_constant(ids, n)
+        assert value == pytest.approx(n / (4 * len(ids)), rel=0.05)
+
+    def test_c_constant_is_quarter_max_gap(self):
+        ids = np.array([0, 10, 50, 60])
+        assert c_constant(ids, 61) == pytest.approx(10.0)
+
+    def test_b_constant_min_slope(self):
+        ids = np.array([0, 10, 20])
+        y = np.array([0.0, 5.0, 6.0])
+        assert b_constant(y, ids) == pytest.approx(0.1)
+
+
+class TestBoundsHold:
+    """Thm 6.1: when samples include all extrema, errors obey the bounds."""
+
+    def _extrema_sample(self, y, extra_step=25):
+        from repro.evalx import local_extrema
+
+        minima, maxima = local_extrema(y)
+        ids = set(minima.tolist()) | set(maxima.tolist())
+        ids |= set(range(0, len(y), extra_step))
+        ids |= {0, len(y) - 1}
+        return np.array(sorted(ids))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_avg_bound(self, seed):
+        y = lipschitz_signal(seed=seed)
+        ids = self._extrema_sample(y)
+        bounds = compute_error_bounds(y[ids], ids, len(y), lipschitz=estimate_lipschitz(y))
+        errors = observed_errors(y, ids)
+        assert errors["avg"] <= bounds.avg_bound + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_med_bound(self, seed):
+        y = lipschitz_signal(seed=seed)
+        ids = self._extrema_sample(y)
+        bounds = compute_error_bounds(y[ids], ids, len(y), lipschitz=estimate_lipschitz(y))
+        errors = observed_errors(y, ids)
+        assert errors["med"] <= bounds.med_bound + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_count_bound(self, seed):
+        y = lipschitz_signal(seed=seed)
+        ids = self._extrema_sample(y)
+        theta = float(np.median(y))
+        bounds = compute_error_bounds(y[ids], ids, len(y), lipschitz=estimate_lipschitz(y))
+        errors = observed_errors(y, ids, theta=theta)
+        assert errors["count"] <= bounds.count_bound + 1e-9
+
+    def test_bounds_shrink_with_budget(self):
+        y = lipschitz_signal()
+        dense = np.unique(np.linspace(0, len(y) - 1, 100).astype(int))
+        sparse = np.unique(np.linspace(0, len(y) - 1, 10).astype(int))
+        L = estimate_lipschitz(y)
+        bound_dense = compute_error_bounds(y[dense], dense, len(y), lipschitz=L)
+        bound_sparse = compute_error_bounds(y[sparse], sparse, len(y), lipschitz=L)
+        assert bound_dense.avg_bound < bound_sparse.avg_bound
+        assert bound_dense.med_bound < bound_sparse.med_bound
+
+    def test_normalized_constants_near_quarter(self):
+        """Uniform sampling gives A_S, C_S ~ 0.25 |D|/|S| (paper: ~0.25-0.28)."""
+        y = lipschitz_signal()
+        ids = np.unique(np.linspace(0, len(y) - 1, 50).astype(int))
+        bounds = compute_error_bounds(y[ids], ids, len(y))
+        ratios = bounds.normalized_constants(len(y), len(ids))
+        assert ratios["a_ratio"] == pytest.approx(0.25, abs=0.08)
+        assert ratios["c_ratio"] == pytest.approx(0.25, abs=0.08)
+
+
+class TestBudgetPlanner:
+    def test_planner_meets_target(self):
+        y = lipschitz_signal()
+        L = estimate_lipschitz(y)
+        target = 0.5
+        budget = budget_for_average_error(target, L, len(y))
+        ids = np.unique(np.linspace(0, len(y) - 1, budget).astype(int))
+        errors = observed_errors(y, ids)
+        assert errors["avg"] <= target
+
+    def test_planner_monotone_in_target(self):
+        assert budget_for_average_error(0.1, 1.0, 1000) > budget_for_average_error(
+            1.0, 1.0, 1000
+        )
+
+    def test_planner_clipped_to_n(self):
+        assert budget_for_average_error(1e-9, 1.0, 100) == 100
+
+    def test_planner_validation(self):
+        with pytest.raises(ValueError):
+            budget_for_average_error(0.0, 1.0, 100)

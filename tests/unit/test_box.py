@@ -1,0 +1,141 @@
+"""Unit tests for BoundingBox3D."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoundingBox3D
+
+
+class TestConstruction:
+    def test_stores_center_size_yaw(self):
+        box = BoundingBox3D([1, 2, 3], [4, 2, 1.5], 0.3)
+        assert np.allclose(box.center, [1, 2, 3])
+        assert np.allclose(box.size, [4, 2, 1.5])
+        assert box.yaw == pytest.approx(0.3)
+
+    def test_yaw_normalized_to_half_open_interval(self):
+        box = BoundingBox3D([0, 0, 0], [1, 1, 1], 3 * math.pi)
+        assert -math.pi < box.yaw <= math.pi
+        assert box.yaw == pytest.approx(math.pi)
+
+    def test_negative_yaw_normalization(self):
+        box = BoundingBox3D([0, 0, 0], [1, 1, 1], -3.5 * math.pi)
+        assert box.yaw == pytest.approx(0.5 * math.pi)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="size"):
+            BoundingBox3D([0, 0, 0], [1, 0, 1])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            BoundingBox3D([0, 0], [1, 1, 1])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            BoundingBox3D([0, np.nan, 0], [1, 1, 1])
+        with pytest.raises(ValueError):
+            BoundingBox3D([0, 0, 0], [1, 1, 1], math.inf)
+
+    def test_fields_are_immutable(self):
+        box = BoundingBox3D([0, 0, 0], [1, 1, 1])
+        with pytest.raises((ValueError, RuntimeError)):
+            box.center[0] = 5.0
+
+
+class TestMinMaxParameterization:
+    def test_from_min_max_roundtrip(self):
+        box = BoundingBox3D.from_min_max([-2, -1, 0], [2, 1, 1.5], 0.4)
+        assert np.allclose(box.center, [0, 0, 0.75])
+        assert np.allclose(box.size, [4, 2, 1.5])
+        assert np.allclose(box.min_point, [-2, -1, 0])
+        assert np.allclose(box.max_point, [2, 1, 1.5])
+
+    def test_from_min_max_rejects_inverted_corners(self):
+        with pytest.raises(ValueError, match="exceed"):
+            BoundingBox3D.from_min_max([1, 0, 0], [0, 1, 1])
+
+
+class TestDerivedQuantities:
+    def test_volume_and_bev_area(self):
+        box = BoundingBox3D([0, 0, 0], [4, 2, 1.5])
+        assert box.volume == pytest.approx(12.0)
+        assert box.bev_area == pytest.approx(8.0)
+
+    def test_distance_to_origin_is_planar(self):
+        box = BoundingBox3D([3, 4, 100], [1, 1, 1])
+        assert box.distance_to_origin() == pytest.approx(5.0)
+
+    def test_corners_bev_unrotated(self):
+        box = BoundingBox3D([0, 0, 0], [4, 2, 1])
+        corners = box.corners_bev()
+        assert corners.shape == (4, 2)
+        assert np.allclose(np.abs(corners[:, 0]), 2.0)
+        assert np.allclose(np.abs(corners[:, 1]), 1.0)
+
+    def test_corners_bev_rotation_90_degrees(self):
+        box = BoundingBox3D([0, 0, 0], [4, 2, 1], math.pi / 2)
+        corners = box.corners_bev()
+        # After a quarter turn the long axis lies along y.
+        assert np.allclose(np.abs(corners[:, 0]), 1.0, atol=1e-9)
+        assert np.allclose(np.abs(corners[:, 1]), 2.0, atol=1e-9)
+
+    def test_corners_full_shape_and_heights(self):
+        box = BoundingBox3D([0, 0, 1], [2, 2, 2])
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        assert np.allclose(corners[:4, 2], 0.0)
+        assert np.allclose(corners[4:, 2], 2.0)
+
+
+class TestContainsPoint:
+    def test_center_is_inside(self):
+        box = BoundingBox3D([1, 1, 1], [2, 2, 2], 0.7)
+        assert box.contains_point([1, 1, 1])
+
+    def test_outside_along_height(self):
+        box = BoundingBox3D([0, 0, 0], [2, 2, 2])
+        assert not box.contains_point([0, 0, 1.5])
+
+    def test_rotation_respected(self):
+        box = BoundingBox3D([0, 0, 0], [4, 1, 1], math.pi / 2)
+        # The long axis now points along y.
+        assert box.contains_point([0, 1.9, 0])
+        assert not box.contains_point([1.9, 0, 0])
+
+
+class TestMotion:
+    def test_translated_3d(self):
+        box = BoundingBox3D([0, 0, 0], [1, 1, 1], 0.2)
+        moved = box.translated([1, 2, 3])
+        assert np.allclose(moved.center, [1, 2, 3])
+        assert moved.yaw == pytest.approx(0.2)
+
+    def test_translated_2d_keeps_z(self):
+        box = BoundingBox3D([0, 0, 5], [1, 1, 1])
+        moved = box.translated([1, 1])
+        assert np.allclose(moved.center, [1, 1, 5])
+
+    def test_moved_constant_velocity(self):
+        box = BoundingBox3D([0, 0, 0], [1, 1, 1])
+        moved = box.moved([2.0, -1.0], dt=0.5)
+        assert np.allclose(moved.center, [1.0, -0.5, 0.0])
+
+    def test_moved_does_not_mutate_original(self):
+        box = BoundingBox3D([0, 0, 0], [1, 1, 1])
+        box.moved([1, 1], dt=1.0)
+        assert np.allclose(box.center, [0, 0, 0])
+
+
+class TestEquality:
+    def test_equal_boxes(self):
+        a = BoundingBox3D([1, 2, 3], [1, 1, 1], 0.1)
+        b = BoundingBox3D([1, 2, 3], [1, 1, 1], 0.1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_boxes(self):
+        a = BoundingBox3D([1, 2, 3], [1, 1, 1], 0.1)
+        assert a != BoundingBox3D([1, 2, 3], [1, 1, 1], 0.2)
+        assert a != "not a box"

@@ -1,0 +1,158 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    """A simulated sequence + fitted detections on disk."""
+    root = tmp_path_factory.mktemp("cli")
+    seq_path = root / "seq.npz"
+    det_path = root / "det.npz"
+    status, _ = run_cli(
+        "simulate", "--dataset", "semantickitti", "--frames", "200",
+        "--out", str(seq_path),
+    )
+    assert status == 0
+    status, _ = run_cli(
+        "fit", "--sequence", str(seq_path), "--model", "pv_rcnn",
+        "--budget", "0.15", "--out", str(det_path),
+    )
+    assert status == 0
+    return seq_path, det_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--dataset", "waymo", "--out", "x"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--out", "x.npz"])
+        assert args.dataset == "semantickitti"
+        assert args.frames == 1000
+
+
+class TestSimulate:
+    def test_writes_sequence(self, tmp_path):
+        out_path = tmp_path / "seq.npz"
+        status, output = run_cli(
+            "simulate", "--frames", "50", "--out", str(out_path)
+        )
+        assert status == 0
+        assert out_path.exists()
+        assert "wrote" in output
+
+    def test_deterministic_with_seed(self, tmp_path):
+        from repro.data import load_sequence
+
+        a_path, b_path = tmp_path / "a.npz", tmp_path / "b.npz"
+        run_cli("simulate", "--frames", "40", "--seed", "9", "--out", str(a_path))
+        run_cli("simulate", "--frames", "40", "--seed", "9", "--out", str(b_path))
+        a, b = load_sequence(a_path), load_sequence(b_path)
+        assert list(a.ground_truth_counts()) == list(b.ground_truth_counts())
+
+
+class TestFit:
+    def test_reports_budget(self, checkpoint):
+        seq_path, det_path = checkpoint
+        assert det_path.exists()
+
+    def test_budget_respected(self, checkpoint):
+        from repro.data import load_detections
+
+        _, det_path = checkpoint
+        detections, model_name = load_detections(det_path)
+        assert model_name == "pv_rcnn"
+        assert len(detections) == round(0.15 * 200)
+
+
+class TestQuery:
+    def test_retrieval_query(self, checkpoint):
+        seq_path, det_path = checkpoint
+        status, output = run_cli(
+            "query", "--sequence", str(seq_path), "--detections", str(det_path),
+            "SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1",
+        )
+        assert status == 0
+        assert "frames" in output
+
+    def test_aggregate_query(self, checkpoint):
+        seq_path, det_path = checkpoint
+        status, output = run_cli(
+            "query", "--sequence", str(seq_path), "--detections", str(det_path),
+            "SELECT AVG OF COUNT(Car)",
+        )
+        assert status == 0
+        assert "->" in output
+
+    def test_multiple_queries(self, checkpoint):
+        seq_path, det_path = checkpoint
+        status, output = run_cli(
+            "query", "--sequence", str(seq_path), "--detections", str(det_path),
+            "SELECT MIN OF COUNT(Car)", "SELECT MAX OF COUNT(Car)",
+        )
+        assert status == 0
+        assert output.count("->") == 2
+
+    def test_bad_query_sets_status(self, checkpoint):
+        seq_path, det_path = checkpoint
+        status, output = run_cli(
+            "query", "--sequence", str(seq_path), "--detections", str(det_path),
+            "SELECT NONSENSE",
+        )
+        assert status == 2
+        assert "error" in output
+
+
+class TestExperiment:
+    def test_prints_method_table(self):
+        status, output = run_cli(
+            "experiment", "--frames", "300", "--budget", "0.1"
+        )
+        assert status == 0
+        for method in ("seiden_pc", "seiden_pcst", "mast"):
+            assert method in output
+        assert "retrieval F1" in output
+
+
+class TestTracks:
+    def test_summary_table(self, checkpoint):
+        seq_path, det_path = checkpoint
+        status, output = run_cli(
+            "tracks", "--sequence", str(seq_path), "--detections", str(det_path),
+        )
+        assert status == 0
+        assert "tracks stitched" in output
+        assert "Car" in output
+
+    def test_within_listing(self, checkpoint):
+        seq_path, det_path = checkpoint
+        status, output = run_cli(
+            "tracks", "--sequence", str(seq_path), "--detections", str(det_path),
+            "--within", "15", "--min-duration", "2",
+        )
+        assert status == 0
+        assert "within 15 m" in output
+
+    def test_max_speed_flag(self, checkpoint):
+        seq_path, det_path = checkpoint
+        status, output = run_cli(
+            "tracks", "--sequence", str(seq_path), "--detections", str(det_path),
+            "--max-speed", "5",
+        )
+        assert status == 0

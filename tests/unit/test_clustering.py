@@ -1,0 +1,87 @@
+"""Unit tests for the point-based clustering detector."""
+
+import numpy as np
+import pytest
+
+from repro.data import ObjectArray
+from repro.models import ClusteringDetector
+from repro.simulation.world import GROUND_Z
+
+
+class TestClusteringDetector:
+    def test_empty_points(self, kitti_sequence):
+        detector = ClusteringDetector()
+        # Frames without providers yield empty point clouds.
+        output = detector.detect(kitti_sequence[0])
+        assert len(output) == 0
+
+    def test_detects_isolated_car(self, kitti_sequence_points):
+        detector = ClusteringDetector()
+        frame = kitti_sequence_points[10]
+        output = detector.detect(frame)
+        # Something should be found in a populated scene.
+        if frame.n_objects > 0:
+            assert len(output) > 0
+
+    def test_ground_points_ignored(self):
+        detector = ClusteringDetector()
+        rng = np.random.default_rng(0)
+        ground = np.column_stack(
+            [
+                rng.uniform(-30, 30, 500),
+                rng.uniform(-30, 30, 500),
+                np.full(500, GROUND_Z),
+            ]
+        )
+        objects = detector._detect_objects(ground)
+        assert len(objects) == 0
+
+    def test_single_cluster_detected(self):
+        detector = ClusteringDetector(min_points=5)
+        rng = np.random.default_rng(0)
+        cluster = rng.normal([10.0, 0.0, GROUND_Z + 0.8], [1.0, 0.5, 0.3], (50, 3))
+        objects = detector._detect_objects(cluster)
+        assert len(objects) == 1
+        assert abs(objects.centers[0][0] - 10.0) < 2.0
+
+    def test_two_separated_clusters(self):
+        detector = ClusteringDetector(min_points=5)
+        rng = np.random.default_rng(0)
+        a = rng.normal([10.0, 0.0, GROUND_Z + 0.8], 0.4, (40, 3))
+        b = rng.normal([-15.0, 5.0, GROUND_Z + 0.8], 0.4, (40, 3))
+        objects = detector._detect_objects(np.vstack([a, b]))
+        assert len(objects) == 2
+
+    def test_min_points_filter(self):
+        detector = ClusteringDetector(min_points=100)
+        rng = np.random.default_rng(0)
+        tiny = rng.normal([10.0, 0.0, GROUND_Z + 0.8], 0.3, (10, 3))
+        assert len(detector._detect_objects(tiny)) == 0
+
+    def test_building_sized_blob_rejected(self):
+        detector = ClusteringDetector(max_footprint=5.0)
+        rng = np.random.default_rng(0)
+        blob = np.column_stack(
+            [
+                rng.uniform(0, 30, 2000),
+                rng.uniform(0, 30, 2000),
+                rng.uniform(GROUND_Z + 0.5, GROUND_Z + 3, 2000),
+            ]
+        )
+        assert len(detector._detect_objects(blob)) == 0
+
+    def test_classify_by_size(self):
+        classify = ClusteringDetector._classify
+        assert classify(np.array([8.0, 2.5, 3.0])) == "Truck"
+        assert classify(np.array([4.0, 1.8, 1.5])) == "Car"
+        assert classify(np.array([0.6, 0.6, 1.7])) == "Pedestrian"
+        assert classify(np.array([1.8, 0.6, 1.2])) == "Cyclist"
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            ClusteringDetector(cell_size=0)
+
+    def test_cost_cheaper_than_deep_models(self):
+        from repro.models import pv_rcnn
+
+        assert ClusteringDetector().cost_per_frame < pv_rcnn().cost_per_frame

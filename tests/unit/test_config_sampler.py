@@ -1,0 +1,157 @@
+"""Unit tests for MASTConfig and the hierarchical sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalMultiAgentSampler,
+    MASTConfig,
+    SamplingResult,
+    uniform_ids,
+)
+from repro.utils.timing import STAGE_MODEL
+
+
+class TestMASTConfig:
+    def test_defaults_match_paper(self):
+        config = MASTConfig()
+        assert config.budget_fraction == 0.10
+        assert config.ucb_c == 2.0
+        assert config.max_depth == 10
+        assert config.branching == 2
+        assert config.confidence_threshold == 0.5
+        assert config.predictor_by_operator["Avg"] == "linear"
+        assert config.predictor_by_operator["Count"] == "st"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MASTConfig(budget_fraction=0.0)
+        with pytest.raises(ValueError):
+            MASTConfig(budget_fraction=1.5)
+        with pytest.raises(ValueError):
+            MASTConfig(branching=1)
+        with pytest.raises(ValueError):
+            MASTConfig(predictor_by_operator={"Avg": "magic"})
+        with pytest.raises(ValueError):
+            MASTConfig(retrieval_predictor="magic")
+
+    def test_budget_for(self):
+        config = MASTConfig(budget_fraction=0.1)
+        assert config.budget_for(1000) == 100
+        assert config.budget_for(5) == 2  # floor of 2
+        assert config.budget_for(10) == 2
+
+    def test_uniform_budget_for(self):
+        config = MASTConfig(beta=0.5)
+        assert config.uniform_budget_for(100) == 50
+        assert config.uniform_budget_for(2) == 2
+
+    def test_with_overrides(self):
+        config = MASTConfig().with_overrides(budget_fraction=0.25)
+        assert config.budget_fraction == 0.25
+        assert config.ucb_c == 2.0
+
+
+class TestUniformIds:
+    def test_includes_endpoints(self):
+        ids = uniform_ids(100, 10)
+        assert ids[0] == 0 and ids[-1] == 99
+
+    def test_count(self):
+        assert len(uniform_ids(100, 10)) == 10
+
+    def test_budget_clamped_to_n(self):
+        assert len(uniform_ids(5, 50)) == 5
+
+    def test_roughly_equal_spacing(self):
+        ids = uniform_ids(1000, 11)
+        gaps = np.diff(ids)
+        assert gaps.max() - gaps.min() <= 1
+
+    def test_single_frame(self):
+        assert list(uniform_ids(1, 5)) == [0]
+
+
+class TestHierarchicalSampler:
+    @pytest.fixture(scope="class")
+    def result(self, kitti_sequence, detector):
+        sampler = HierarchicalMultiAgentSampler(MASTConfig(seed=1))
+        return sampler.sample(kitti_sequence, detector)
+
+    def test_budget_respected(self, result, kitti_sequence):
+        assert len(result.sampled_ids) == round(0.1 * len(kitti_sequence))
+
+    def test_ids_sorted_unique(self, result):
+        ids = result.sampled_ids
+        assert np.all(np.diff(ids) > 0)
+
+    def test_endpoints_sampled(self, result, kitti_sequence):
+        assert result.sampled_ids[0] == 0
+        assert result.sampled_ids[-1] == len(kitti_sequence) - 1
+
+    def test_detections_for_all_sampled(self, result):
+        assert set(result.detections) == set(int(i) for i in result.sampled_ids)
+
+    def test_model_budget_charged(self, result, detector):
+        expected = len(result.sampled_ids) * detector.cost_per_frame
+        assert result.ledger.total(STAGE_MODEL) == pytest.approx(expected)
+
+    def test_rewards_recorded_for_adaptive_phase(self, result):
+        config = MASTConfig()
+        budget = config.budget_for(result.n_frames)
+        uniform = config.uniform_budget_for(budget)
+        assert len(result.rewards) == budget - uniform
+
+    def test_policy_info(self, result):
+        assert result.policy_info["sampler"] == "mast"
+        assert result.policy_info["tree_depth"] >= 1
+
+    def test_sampling_fraction(self, result, kitti_sequence):
+        assert result.sampling_fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_gaps(self, result):
+        for start, end in result.gaps():
+            assert end - start > 1
+
+    def test_deterministic_given_seed(self, kitti_sequence, detector):
+        a = HierarchicalMultiAgentSampler(MASTConfig(seed=5)).sample(
+            kitti_sequence, detector
+        )
+        b = HierarchicalMultiAgentSampler(MASTConfig(seed=5)).sample(
+            kitti_sequence, detector
+        )
+        assert np.array_equal(a.sampled_ids, b.sampled_ids)
+
+    def test_different_seeds_differ(self, kitti_sequence, detector):
+        a = HierarchicalMultiAgentSampler(MASTConfig(seed=5)).sample(
+            kitti_sequence, detector
+        )
+        b = HierarchicalMultiAgentSampler(MASTConfig(seed=6)).sample(
+            kitti_sequence, detector
+        )
+        assert not np.array_equal(a.sampled_ids, b.sampled_ids)
+
+    def test_full_budget_samples_everything(self, detector):
+        from repro.simulation import semantickitti_like
+
+        seq = semantickitti_like(0, n_frames=30, with_points=False)
+        sampler = HierarchicalMultiAgentSampler(
+            MASTConfig(seed=1, budget_fraction=0.999)
+        )
+        result = sampler.sample(seq, detector)
+        assert len(result.sampled_ids) == round(0.999 * 30)
+
+    def test_count_reward_variant(self, kitti_sequence, detector):
+        sampler = HierarchicalMultiAgentSampler(
+            MASTConfig(seed=1), reward_kind="count"
+        )
+        result = sampler.sample(kitti_sequence, detector)
+        assert result.policy_info["reward_kind"] == "count"
+        assert all(0.0 <= r < 1.0 for r in result.rewards)
+
+    def test_invalid_reward_kind(self):
+        with pytest.raises(ValueError):
+            HierarchicalMultiAgentSampler(MASTConfig(), reward_kind="bogus")
+
+    def test_result_is_sampling_result(self, result):
+        assert isinstance(result, SamplingResult)

@@ -1,0 +1,69 @@
+"""Unit tests for PointCloudDatabase."""
+
+import numpy as np
+import pytest
+
+from repro.data import FrameSequence, ObjectArray, PointCloudDatabase, PointCloudFrame
+from repro.geometry import Pose2D
+
+
+def make_frame(frame_id):
+    return PointCloudFrame(
+        frame_id=frame_id,
+        timestamp=frame_id * 0.5,
+        ego_pose=Pose2D(0.0, 0.0, 0.0),
+        ground_truth=ObjectArray.empty(),
+    )
+
+
+def make_sequence(name, n=5):
+    return FrameSequence([make_frame(i) for i in range(n)], fps=2.0, name=name)
+
+
+class TestIngestion:
+    def test_ingest_and_get(self):
+        db = PointCloudDatabase()
+        db.ingest(make_sequence("drive-a"))
+        assert "drive-a" in db
+        assert len(db.get("drive-a")) == 5
+
+    def test_duplicate_name_rejected(self):
+        db = PointCloudDatabase()
+        db.ingest(make_sequence("drive-a"))
+        with pytest.raises(ValueError, match="already exists"):
+            db.ingest(make_sequence("drive-a"))
+
+    def test_ingest_batch_appends(self):
+        db = PointCloudDatabase()
+        db.ingest(make_sequence("drive-a", n=3))
+        extended = db.ingest_batch("drive-a", [make_frame(3), make_frame(4)])
+        assert len(extended) == 5
+        assert len(db.get("drive-a")) == 5
+
+    def test_ingest_batch_unknown_sequence(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PointCloudDatabase().ingest_batch("nope", [make_frame(0)])
+
+
+class TestLookup:
+    def test_get_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PointCloudDatabase().get("missing")
+
+    def test_names_sorted(self):
+        db = PointCloudDatabase()
+        db.ingest(make_sequence("zulu"))
+        db.ingest(make_sequence("alpha"))
+        assert db.names() == ["alpha", "zulu"]
+
+    def test_len_and_total_frames(self):
+        db = PointCloudDatabase()
+        db.ingest(make_sequence("a", n=3))
+        db.ingest(make_sequence("b", n=7))
+        assert len(db) == 2
+        assert db.total_frames == 10
+
+    def test_iteration(self):
+        db = PointCloudDatabase()
+        db.ingest(make_sequence("a"))
+        assert [seq.name for seq in db] == ["a"]

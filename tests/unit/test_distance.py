@@ -1,0 +1,87 @@
+"""Unit tests for distance / IoU utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoundingBox3D, bev_center_distance, center_distance, iou_bev
+from repro.geometry.distance import clip_polygon, pairwise_center_distances, polygon_area
+
+
+def box(cx, cy, cz=0.0, length=4.0, width=2.0, height=1.5, yaw=0.0):
+    return BoundingBox3D([cx, cy, cz], [length, width, height], yaw)
+
+
+class TestCenterDistances:
+    def test_center_distance_3d(self):
+        assert center_distance(box(0, 0, 0), box(3, 4, 12)) == pytest.approx(13.0)
+
+    def test_bev_distance_ignores_z(self):
+        assert bev_center_distance(box(0, 0, 0), box(3, 4, 50)) == pytest.approx(5.0)
+
+    def test_pairwise_matrix_matches_paper_cost(self):
+        boxes_a = [box(0, 0), box(1, 1)]
+        boxes_b = [box(0, 3), box(4, 0), box(0, 0)]
+        matrix = pairwise_center_distances(boxes_a, boxes_b)
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == pytest.approx(3.0)
+        assert matrix[0, 2] == pytest.approx(0.0)
+
+    def test_pairwise_empty_inputs(self):
+        assert pairwise_center_distances([], [box(0, 0)]).shape == (0, 1)
+        assert pairwise_center_distances([box(0, 0)], []).shape == (1, 0)
+
+
+class TestPolygonOps:
+    def test_polygon_area_square(self):
+        square = np.array([[0, 0], [2, 0], [2, 2], [0, 2]])
+        assert polygon_area(square) == pytest.approx(4.0)
+
+    def test_polygon_area_orientation_invariant(self):
+        square = np.array([[0, 0], [0, 2], [2, 2], [2, 0]])
+        assert polygon_area(square) == pytest.approx(4.0)
+
+    def test_polygon_area_degenerate(self):
+        assert polygon_area(np.array([[0, 0], [1, 1]])) == 0.0
+
+    def test_clip_contained_polygon(self):
+        inner = np.array([[0.5, 0.5], [1.5, 0.5], [1.5, 1.5], [0.5, 1.5]])
+        outer = np.array([[0, 0], [2, 0], [2, 2], [0, 2]])
+        clipped = clip_polygon(inner, outer)
+        assert polygon_area(clipped) == pytest.approx(1.0)
+
+    def test_clip_disjoint_polygons(self):
+        a = np.array([[0, 0], [1, 0], [1, 1], [0, 1]])
+        b = np.array([[5, 5], [6, 5], [6, 6], [5, 6]])
+        assert polygon_area(clip_polygon(a, b)) == pytest.approx(0.0)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        assert iou_bev(box(0, 0), box(0, 0)) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou_bev(box(0, 0), box(100, 0)) == pytest.approx(0.0)
+
+    def test_half_overlap_axis_aligned(self):
+        # Two 4x2 boxes offset by 2 along x: intersection 2x2 = 4, union 12.
+        assert iou_bev(box(0, 0), box(2, 0)) == pytest.approx(1.0 / 3.0)
+
+    def test_symmetry(self):
+        a = box(0, 0, yaw=0.3)
+        b = box(1, 0.5, yaw=-0.4)
+        assert iou_bev(a, b) == pytest.approx(iou_bev(b, a))
+
+    def test_rotation_full_turn_invariant(self):
+        a = box(0, 0)
+        b = box(0.5, 0.2, yaw=2 * math.pi)
+        c = box(0.5, 0.2, yaw=0.0)
+        assert iou_bev(a, b) == pytest.approx(iou_bev(a, c))
+
+    def test_rotated_cross_overlap(self):
+        # Long thin boxes crossing at 90 degrees share a width^2 square.
+        a = BoundingBox3D([0, 0, 0], [10, 1, 1], 0.0)
+        b = BoundingBox3D([0, 0, 0], [10, 1, 1], math.pi / 2)
+        expected = 1.0 / (10 + 10 - 1)
+        assert iou_bev(a, b) == pytest.approx(expected, rel=1e-6)

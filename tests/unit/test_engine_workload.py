@@ -1,0 +1,125 @@
+"""Unit tests for the query engine and workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    AggregateResult,
+    QueryEngine,
+    RetrievalResult,
+    generate_aggregate_workload,
+    generate_retrieval_workload,
+    generate_workload,
+    parse_query,
+)
+from repro.query.predicates import ObjectFilter
+
+
+class FakeProvider:
+    """Deterministic counts: n_t = t mod 5, ignoring the filter."""
+
+    simulated_query_cost_per_frame = 1e-6
+
+    def __init__(self, n_frames=20):
+        self.n_frames = n_frames
+
+    def count_series(self, object_filter):
+        return (np.arange(self.n_frames) % 5).astype(float)
+
+
+class TestQueryEngine:
+    def test_retrieval(self):
+        engine = QueryEngine(FakeProvider())
+        result = engine.execute("SELECT FRAMES WHERE COUNT(Car) >= 4")
+        assert isinstance(result, RetrievalResult)
+        assert result.cardinality == 4  # t = 4, 9, 14, 19
+        assert result.selectivity == pytest.approx(0.2)
+
+    def test_aggregate_avg(self):
+        engine = QueryEngine(FakeProvider())
+        result = engine.execute("SELECT AVG OF COUNT(Car)")
+        assert isinstance(result, AggregateResult)
+        assert result.value == pytest.approx(2.0)
+
+    def test_aggregate_count(self):
+        engine = QueryEngine(FakeProvider())
+        result = engine.execute("SELECT COUNT FRAMES WHERE COUNT(Car) >= 3")
+        assert result.value == pytest.approx(8.0)
+
+    def test_min_max_med(self):
+        engine = QueryEngine(FakeProvider())
+        assert engine.execute("SELECT MIN OF COUNT(Car)").value == 0.0
+        assert engine.execute("SELECT MAX OF COUNT(Car)").value == 4.0
+        assert engine.execute("SELECT MED OF COUNT(Car)").value == 2.0
+
+    def test_accepts_query_objects(self):
+        engine = QueryEngine(FakeProvider())
+        query = parse_query("SELECT AVG OF COUNT(Car)")
+        assert engine.execute(query).value == pytest.approx(2.0)
+
+    def test_execute_many(self):
+        engine = QueryEngine(FakeProvider())
+        results = engine.execute_many(
+            ["SELECT MIN OF COUNT(Car)", "SELECT MAX OF COUNT(Car)"]
+        )
+        assert [r.value for r in results] == [0.0, 4.0]
+
+    def test_ledger_charged(self):
+        engine = QueryEngine(FakeProvider(n_frames=1000))
+        engine.execute("SELECT AVG OF COUNT(Car)")
+        assert engine.ledger.total("query") > 0
+
+    def test_rejects_unknown_type(self):
+        engine = QueryEngine(FakeProvider())
+        with pytest.raises(TypeError):
+            engine.execute(42)
+
+    def test_id_set(self):
+        engine = QueryEngine(FakeProvider())
+        result = engine.execute("SELECT FRAMES WHERE COUNT(Car) >= 4")
+        assert result.id_set() == {4, 9, 14, 19}
+
+
+class TestWorkloadGeneration:
+    def test_retrieval_grid_is_100(self):
+        """The full Tbl-2 grid yields exactly the paper's 100 queries."""
+        assert len(generate_retrieval_workload()) == 100
+
+    def test_retrieval_queries_unique(self):
+        queries = generate_retrieval_workload()
+        assert len(set(queries)) == len(queries)
+
+    def test_aggregate_default_is_30(self):
+        assert len(generate_aggregate_workload(rng=0)) == 30
+
+    def test_aggregate_operator_mix(self):
+        queries = generate_aggregate_workload(rng=0)
+        operators = {q.operator for q in queries}
+        assert operators == {"Avg", "Med", "Count", "Min", "Max"}
+
+    def test_count_queries_have_predicates(self):
+        for query in generate_aggregate_workload(rng=0):
+            if query.operator == "Count":
+                assert query.count_predicate is not None
+            else:
+                assert query.count_predicate is None
+
+    def test_workload_deterministic(self):
+        a = generate_workload(rng=5)
+        b = generate_workload(rng=5)
+        assert a == b
+
+    def test_workload_totals(self):
+        workload = generate_workload(rng=0)
+        assert len(workload) == 130
+        assert len(workload.all_queries()) == 130
+
+    def test_object_filters_deduplicated(self):
+        workload = generate_workload(rng=0)
+        filters = workload.object_filters()
+        assert len(filters) == len(set(filters))
+        assert all(isinstance(f, ObjectFilter) for f in filters)
+
+    def test_custom_label(self):
+        queries = generate_retrieval_workload("Pedestrian")
+        assert all(q.object_filter.label == "Pedestrian" for q in queries)

@@ -1,0 +1,58 @@
+"""Unit tests for MASTPipeline.explain."""
+
+import pytest
+
+from repro.core import MASTConfig, MASTPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline(kitti_sequence, detector):
+    return MASTPipeline(MASTConfig(seed=6)).fit(kitti_sequence, detector)
+
+
+class TestExplain:
+    def test_requires_fit(self):
+        with pytest.raises(ValueError, match="fit"):
+            MASTPipeline().explain("SELECT AVG OF COUNT(Car)")
+
+    def test_retrieval_uses_st(self, pipeline):
+        plan = pipeline.explain("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        assert "RetrievalQuery" in plan
+        assert "st (motion-predicted index)" in plan
+
+    def test_avg_uses_linear(self, pipeline):
+        plan = pipeline.explain("SELECT AVG OF COUNT(Car)")
+        assert "linear (interpolation)" in plan
+
+    def test_linear_retrieval_override(self, kitti_sequence, detector):
+        pipe = MASTPipeline(
+            MASTConfig(seed=6, retrieval_predictor="linear")
+        ).fit(kitti_sequence, detector)
+        plan = pipe.explain("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        assert "floored" in plan
+
+    def test_cost_estimate_present(self, pipeline):
+        plan = pipeline.explain("SELECT MED OF COUNT(Car)")
+        assert "est. cost" in plan
+        assert "simulated" in plan
+
+    def test_cache_status_tracks_execution(self, pipeline):
+        text = "SELECT FRAMES WHERE COUNT(Truck DIST <= 33) >= 1"
+        before = pipeline.explain(text)
+        assert "not cached" in before
+        pipeline.query(text)
+        after = pipeline.explain(text)
+        assert "not cached" not in after
+
+    def test_compound_lists_all_filters(self, pipeline):
+        plan = pipeline.explain(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 AND COUNT(Pedestrian) >= 1"
+        )
+        assert plan.count("filter    :") == 2
+        assert "CompoundRetrievalQuery" in plan
+
+    def test_does_not_execute(self, pipeline):
+        """explain must not populate the count cache."""
+        text = "SELECT FRAMES WHERE COUNT(Cyclist DIST <= 17) >= 1"
+        pipeline.explain(text)
+        assert "not cached" in pipeline.explain(text)

@@ -1,0 +1,147 @@
+"""Unit tests for the MAST index (Alg. 3) and count providers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalMultiAgentSampler,
+    LinearCountProvider,
+    MASTConfig,
+    MASTIndex,
+    STCountProvider,
+)
+from repro.query import ObjectFilter, SpatialPredicate
+from repro.utils.timing import STAGE_INDEX
+
+
+@pytest.fixture(scope="module")
+def sampling(kitti_sequence, detector):
+    sampler = HierarchicalMultiAgentSampler(MASTConfig(seed=2))
+    return sampler.sample(kitti_sequence, detector)
+
+
+@pytest.fixture(scope="module")
+def index(sampling):
+    return MASTIndex.build(sampling, MASTConfig(seed=2))
+
+
+CAR_NEAR = ObjectFilter(label="Car", spatial=SpatialPredicate("<=", 20.0))
+
+
+class TestBuild:
+    def test_covers_all_frames(self, index, sampling):
+        assert index.n_frames == sampling.n_frames
+
+    def test_charges_index_stage(self, sampling):
+        from repro.utils.timing import CostLedger
+
+        ledger = CostLedger()
+        MASTIndex.build(sampling, MASTConfig(), ledger=ledger)
+        assert ledger.total(STAGE_INDEX) > 0
+
+    def test_indexed_objects_nonzero(self, index):
+        assert index.n_indexed_objects > 0
+
+
+class TestCountSeries:
+    def test_shape(self, index):
+        counts = index.count_series(CAR_NEAR)
+        assert counts.shape == (index.n_frames,)
+        assert np.all(counts >= 0)
+
+    def test_sampled_frames_are_exact(self, index, sampling):
+        """On sampled frames the index stores the raw model output."""
+        counts = index.count_series(CAR_NEAR)
+        for frame_id in sampling.sampled_ids[:20]:
+            expected = CAR_NEAR.count(sampling.detections[int(frame_id)])
+            assert counts[int(frame_id)] == expected
+
+    def test_memoized(self, index):
+        a = index.count_series(CAR_NEAR)
+        b = index.count_series(CAR_NEAR)
+        assert a is b
+
+    def test_different_filters_differ(self, index):
+        near = index.count_series(CAR_NEAR)
+        far = index.count_series(
+            ObjectFilter(label="Car", spatial=SpatialPredicate(">=", 20.0))
+        )
+        assert not np.array_equal(near, far)
+
+    def test_confidence_threshold_reduces_counts(self, index):
+        low = index.count_series(ObjectFilter(label="Car", confidence=0.1))
+        high = index.count_series(ObjectFilter(label="Car", confidence=0.9))
+        assert high.sum() <= low.sum()
+
+
+class TestObjectsAt:
+    def test_sampled_frame_returns_detections(self, index, sampling):
+        frame_id = int(sampling.sampled_ids[3])
+        objects = index.objects_at(frame_id)
+        assert np.allclose(
+            objects.centers, sampling.detections[frame_id].centers
+        )
+
+    def test_unsampled_frame_returns_prediction(self, index, sampling):
+        gaps = sampling.gaps()
+        start, end = gaps[0]
+        mid = (start + end) // 2
+        objects = index.objects_at(mid)
+        # Prediction matches the flat-column counts for that frame.
+        counts = index.count_series(ObjectFilter(label=None, confidence=0.0))
+        assert len(objects) == counts[mid]
+
+    def test_out_of_range(self, index):
+        with pytest.raises(IndexError):
+            index.objects_at(index.n_frames)
+
+
+class TestSTCountProvider:
+    def test_delegates_to_index(self, index):
+        provider = STCountProvider(index)
+        assert provider.n_frames == index.n_frames
+        assert np.array_equal(
+            provider.count_series(CAR_NEAR), index.count_series(CAR_NEAR)
+        )
+
+    def test_declares_query_cost(self, index):
+        assert STCountProvider(index).simulated_query_cost_per_frame > 0
+
+
+class TestLinearCountProvider:
+    def test_exact_on_sampled_frames(self, sampling):
+        provider = LinearCountProvider(sampling)
+        counts = provider.count_series(CAR_NEAR)
+        for frame_id in sampling.sampled_ids[:20]:
+            expected = CAR_NEAR.count(sampling.detections[int(frame_id)])
+            assert counts[int(frame_id)] == pytest.approx(expected)
+
+    def test_interpolates_between_samples(self, sampling):
+        provider = LinearCountProvider(sampling)
+        counts = provider.count_series(CAR_NEAR)
+        ids = sampling.sampled_ids
+        for start, end in sampling.gaps()[:10]:
+            lo, hi = counts[start], counts[end]
+            interior = counts[start + 1 : end]
+            assert np.all(interior >= min(lo, hi) - 1e-9)
+            assert np.all(interior <= max(lo, hi) + 1e-9)
+
+    def test_quantized_view_floors(self, sampling):
+        provider = LinearCountProvider(sampling)
+        floored = provider.quantized().count_series(CAR_NEAR)
+        continuous = provider.count_series(CAR_NEAR)
+        assert np.allclose(floored, np.floor(continuous))
+
+    def test_views_share_cache(self, sampling):
+        provider = LinearCountProvider(sampling)
+        provider.count_series(CAR_NEAR)
+        view = provider.quantized()
+        assert CAR_NEAR in view._cache
+
+    def test_linear_cheaper_than_st(self, sampling, index):
+        linear = LinearCountProvider(sampling)
+        st = STCountProvider(index)
+        assert (
+            linear.simulated_query_cost_per_frame
+            < st.simulated_query_cost_per_frame
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for Thm 6.1 confidence intervals on aggregate answers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OracleCountProvider
+from repro.core import HierarchicalMultiAgentSampler, MASTConfig, MASTPipeline
+from repro.evalx import ConfidenceInterval, aggregate_interval
+from repro.models import GroundTruthDetector
+from repro.query import QueryEngine, parse_query
+from repro.simulation import semantickitti_like
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    sequence = semantickitti_like(0, n_frames=500, with_points=False)
+    model = GroundTruthDetector()
+    pipeline = MASTPipeline(MASTConfig(seed=3)).fit(sequence, model)
+    oracle = QueryEngine(OracleCountProvider(sequence, model))
+    return pipeline, oracle
+
+
+class TestConfidenceInterval:
+    def test_contains(self):
+        interval = ConfidenceInterval(5.0, 4.0, 6.0, 1.0, 0.5, "Avg")
+        assert interval.contains(4.5)
+        assert not interval.contains(6.5)
+        assert interval.width == pytest.approx(2.0)
+
+
+class TestAggregateInterval:
+    def test_avg_interval_brackets_value(self, fitted):
+        pipeline, _ = fitted
+        query = parse_query("SELECT AVG OF COUNT(Car DIST <= 20)")
+        result = pipeline.query(query)
+        interval = aggregate_interval(
+            pipeline.sampling_result, query, result.value
+        )
+        assert interval.low <= result.value <= interval.high
+        assert interval.bound > 0
+        assert interval.operator == "Avg"
+
+    def test_interval_contains_oracle_truth(self, fitted):
+        """With the true Lipschitz constant the oracle answer must fall
+        inside the band (Thm 6.1 with MAST's extrema-covering samples)."""
+        pipeline, oracle = fitted
+        for text in (
+            "SELECT AVG OF COUNT(Car DIST <= 20)",
+            "SELECT MED OF COUNT(Car DIST >= 5)",
+        ):
+            query = parse_query(text)
+            truth = oracle.execute(query).value
+            # True L from the oracle's full signal.
+            from repro.evalx import estimate_lipschitz
+
+            y = oracle.provider.count_series(query.object_filter)
+            result, interval = pipeline.query_with_interval(
+                query, lipschitz=estimate_lipschitz(y)
+            )
+            assert interval.contains(truth), text
+
+    def test_count_interval_scaled_to_frames(self, fitted):
+        pipeline, _ = fitted
+        query = parse_query(
+            "SELECT COUNT FRAMES WHERE COUNT(Car DIST <= 20) >= 1"
+        )
+        result, interval = pipeline.query_with_interval(query)
+        assert interval.high - interval.value <= pipeline.sampling_result.n_frames
+
+    def test_unsupported_operator(self, fitted):
+        pipeline, _ = fitted
+        query = parse_query("SELECT MAX OF COUNT(Car)")
+        with pytest.raises(ValueError, match="Thm 6.1"):
+            pipeline.query_with_interval(query)
+
+    def test_retrieval_rejected(self, fitted):
+        pipeline, _ = fitted
+        with pytest.raises(TypeError, match="aggregate"):
+            pipeline.query_with_interval(
+                "SELECT FRAMES WHERE COUNT(Car) >= 1"
+            )
+
+    def test_safety_widens_interval(self, fitted):
+        pipeline, _ = fitted
+        query = parse_query("SELECT AVG OF COUNT(Car DIST <= 20)")
+        _, narrow = pipeline.query_with_interval(query, safety=1.0)
+        _, wide = pipeline.query_with_interval(query, safety=3.0)
+        assert wide.width > narrow.width
+
+    def test_lower_edge_clamped_at_zero(self):
+        sequence = semantickitti_like(0, n_frames=200, with_points=False)
+        sampler = HierarchicalMultiAgentSampler(MASTConfig(seed=3))
+        sampling = sampler.sample(sequence, GroundTruthDetector())
+        query = parse_query("SELECT AVG OF COUNT(Car DIST <= 2)")
+        interval = aggregate_interval(sampling, query, 0.01, lipschitz=5.0)
+        assert interval.low == 0.0

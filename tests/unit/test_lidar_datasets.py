@@ -1,0 +1,136 @@
+"""Unit tests for the LiDAR sensor model and dataset factories."""
+
+import numpy as np
+import pytest
+
+from repro.data import ObjectArray
+from repro.simulation import (
+    ONCE_LENGTHS,
+    SEMANTICKITTI_LENGTHS,
+    SYNLIDAR_LENGTH,
+    LidarConfig,
+    LidarSensor,
+    dataset_spec,
+    once_like,
+    semantickitti_like,
+    synlidar_like,
+    with_world_overrides,
+)
+from repro.simulation.world import GROUND_Z
+
+
+def one_car(distance=10.0):
+    return ObjectArray(
+        labels=np.array(["Car"]),
+        centers=np.array([[distance, 0.0, GROUND_Z + 0.8]]),
+        sizes=np.array([[4.0, 2.0, 1.6]]),
+        yaws=np.zeros(1),
+        scores=np.ones(1),
+    )
+
+
+class TestLidarSensor:
+    def test_deterministic_per_frame(self):
+        sensor = LidarSensor(seed=1)
+        a = sensor.sample_frame(one_car(), frame_id=5)
+        b = sensor.sample_frame(one_car(), frame_id=5)
+        assert np.allclose(a, b)
+
+    def test_different_frames_differ(self):
+        sensor = LidarSensor(seed=1)
+        a = sensor.sample_frame(one_car(), frame_id=5)
+        b = sensor.sample_frame(one_car(), frame_id=6)
+        assert a.shape != b.shape or not np.allclose(a, b)
+
+    def test_density_falls_with_distance(self):
+        config = LidarConfig(ground_points=0, clutter_points=0)
+        sensor = LidarSensor(config, seed=0)
+        near = sensor.sample_frame(one_car(5.0), 0)
+        far = sensor.sample_frame(one_car(60.0), 0)
+        assert len(near) > len(far)
+
+    def test_object_points_near_box(self):
+        config = LidarConfig(ground_points=0, clutter_points=0)
+        sensor = LidarSensor(config, seed=0)
+        points = sensor.sample_frame(one_car(10.0), 0)
+        # All points on the car surface lie within ~3 m of its center.
+        dist = np.linalg.norm(points[:, :2] - [10.0, 0.0], axis=1)
+        assert dist.max() < 3.0
+
+    def test_ground_points_at_ground_level(self):
+        config = LidarConfig(ground_points=500, clutter_points=0)
+        sensor = LidarSensor(config, seed=0)
+        points = sensor.sample_frame(ObjectArray.empty(), 0)
+        assert abs(points[:, 2].mean() - GROUND_Z) < 0.05
+
+    def test_empty_world_no_objects(self):
+        config = LidarConfig(ground_points=0, clutter_points=0)
+        sensor = LidarSensor(config, seed=0)
+        assert sensor.sample_frame(ObjectArray.empty(), 0).shape == (0, 3)
+
+
+class TestDatasetFactories:
+    def test_paper_lengths(self):
+        assert SEMANTICKITTI_LENGTHS == (4541, 4661, 4071, 4981, 3281)
+        assert ONCE_LENGTHS == (2741, 3862, 2983, 4638, 5264)
+        assert SYNLIDAR_LENGTH == 45076
+
+    def test_kitti_fps(self):
+        seq = semantickitti_like(0, n_frames=20, with_points=False)
+        assert seq.fps == 10.0
+        assert seq.timestamps[1] - seq.timestamps[0] == pytest.approx(0.1)
+
+    def test_once_fps(self):
+        seq = once_like(0, n_frames=20, with_points=False)
+        assert seq.fps == 2.0
+        assert seq.timestamps[1] - seq.timestamps[0] == pytest.approx(0.5)
+
+    def test_synlidar_fps(self):
+        seq = synlidar_like(n_frames=20, with_points=False)
+        assert seq.fps == 10.0
+
+    def test_length_scale(self):
+        seq = semantickitti_like(0, length_scale=0.01, with_points=False)
+        assert len(seq) == round(4541 * 0.01)
+
+    def test_sequences_differ_by_index(self):
+        a = semantickitti_like(0, n_frames=50, with_points=False)
+        b = semantickitti_like(1, n_frames=50, with_points=False)
+        assert not np.array_equal(
+            a.ground_truth_counts(), b.ground_truth_counts()
+        )
+
+    def test_deterministic(self):
+        a = semantickitti_like(0, n_frames=50, with_points=False)
+        b = semantickitti_like(0, n_frames=50, with_points=False)
+        assert np.array_equal(a.ground_truth_counts(), b.ground_truth_counts())
+
+    def test_bad_sequence_index(self):
+        with pytest.raises(ValueError, match="sequences"):
+            semantickitti_like(9, n_frames=10)
+
+    def test_with_points_provider(self):
+        seq = semantickitti_like(0, n_frames=5)
+        assert seq[0].has_points
+        assert seq[0].points.shape[1] == 3
+
+    def test_without_points(self):
+        seq = semantickitti_like(0, n_frames=5, with_points=False)
+        assert not seq[0].has_points
+
+    def test_dataset_spec_lookup(self):
+        assert dataset_spec("once").fps == 2.0
+        with pytest.raises(ValueError, match="unknown"):
+            dataset_spec("kitti360")
+
+    def test_with_world_overrides(self):
+        spec = with_world_overrides(dataset_spec("semantickitti"), base_spawn_rate=2.0)
+        assert spec.world.base_spawn_rate == 2.0
+
+    def test_once_less_temporally_correlated_than_kitti(self):
+        """The FPS gap drives the paper's RQ1 discussion."""
+        kitti = semantickitti_like(0, n_frames=400, with_points=False)
+        once = once_like(0, n_frames=400, with_points=False)
+        kitti_delta = np.abs(np.diff(kitti.ground_truth_counts("Car"))).mean()
+        once_delta = np.abs(np.diff(once.ground_truth_counts("Car"))).mean()
+        assert once_delta > kitti_delta

@@ -1,0 +1,92 @@
+"""Unit tests for the from-scratch Hungarian implementation."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.geometry import hungarian, match_with_threshold
+
+
+def optimal_cost(cost):
+    rows, cols = linear_sum_assignment(cost)
+    return cost[rows, cols].sum()
+
+
+class TestHungarian:
+    def test_single_cell(self):
+        assert hungarian(np.array([[3.0]])) == [(0, 0)]
+
+    def test_square_known_answer(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        pairs = hungarian(cost)
+        assert sum(cost[i, j] for i, j in pairs) == pytest.approx(5.0)
+
+    def test_identity_preference(self):
+        cost = np.eye(4) * -1 + 1  # zeros on the diagonal
+        assert hungarian(cost) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_rectangular_wide(self):
+        cost = np.array([[10.0, 1.0, 10.0, 10.0], [1.0, 10.0, 10.0, 10.0]])
+        pairs = hungarian(cost)
+        assert len(pairs) == 2
+        assert sum(cost[i, j] for i, j in pairs) == pytest.approx(2.0)
+
+    def test_rectangular_tall(self):
+        cost = np.array([[10.0, 1.0], [1.0, 10.0], [5.0, 5.0]])
+        pairs = hungarian(cost)
+        assert len(pairs) == 2
+        assert sum(cost[i, j] for i, j in pairs) == pytest.approx(2.0)
+
+    def test_empty_matrix(self):
+        assert hungarian(np.zeros((0, 3))) == []
+        assert hungarian(np.zeros((3, 0))) == []
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            hungarian(np.array([[1.0, np.inf]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hungarian(np.zeros(3))
+
+    def test_matches_scipy_on_random_instances(self):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n, m = rng.integers(1, 12, size=2)
+            cost = rng.normal(size=(n, m)) * 5
+            pairs = hungarian(cost)
+            assert len(pairs) == min(n, m)
+            ours = sum(cost[i, j] for i, j in pairs)
+            assert ours == pytest.approx(optimal_cost(cost), abs=1e-9)
+
+    def test_each_row_and_column_used_once(self):
+        rng = np.random.default_rng(3)
+        cost = rng.random((6, 9))
+        pairs = hungarian(cost)
+        rows = [i for i, _ in pairs]
+        cols = [j for _, j in pairs]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+
+
+class TestMatchWithThreshold:
+    def test_threshold_drops_expensive_pairs(self):
+        cost = np.array([[0.1, 9.0], [9.0, 8.0]])
+        pairs, unmatched_rows, unmatched_cols = match_with_threshold(cost, max_cost=1.0)
+        assert pairs == [(0, 0)]
+        assert unmatched_rows == [1]
+        assert unmatched_cols == [1]
+
+    def test_no_threshold_keeps_all(self):
+        cost = np.array([[0.1, 9.0], [9.0, 8.0]])
+        pairs, unmatched_rows, unmatched_cols = match_with_threshold(cost)
+        assert len(pairs) == 2
+        assert unmatched_rows == []
+        assert unmatched_cols == []
+
+    def test_rectangular_unmatched_reported(self):
+        cost = np.ones((2, 4))
+        pairs, unmatched_rows, unmatched_cols = match_with_threshold(cost)
+        assert len(pairs) == 2
+        assert unmatched_rows == []
+        assert len(unmatched_cols) == 2

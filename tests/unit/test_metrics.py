@@ -1,0 +1,64 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import aggregate_accuracy, f1_score, precision_recall_f1, selectivity
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_match(self):
+        assert precision_recall_f1({1, 2, 3}, {1, 2, 3}) == (1.0, 1.0, 1.0)
+
+    def test_no_overlap(self):
+        precision, recall, f1 = precision_recall_f1({1}, {2})
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+    def test_partial_overlap(self):
+        precision, recall, f1 = precision_recall_f1({1, 2}, {2, 3, 4})
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(1 / 3)
+        assert f1 == pytest.approx(2 * 0.5 * (1 / 3) / (0.5 + 1 / 3))
+
+    def test_both_empty_is_perfect(self):
+        assert precision_recall_f1(set(), set()) == (1.0, 1.0, 1.0)
+
+    def test_empty_prediction(self):
+        precision, recall, f1 = precision_recall_f1(set(), {1, 2})
+        assert f1 == 0.0
+
+    def test_empty_truth_nonempty_prediction(self):
+        precision, recall, f1 = precision_recall_f1({1}, set())
+        assert f1 == 0.0
+
+    def test_accepts_arrays(self):
+        assert f1_score(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+
+class TestAggregateAccuracy:
+    def test_exact(self):
+        assert aggregate_accuracy(5.0, 5.0) == 1.0
+
+    def test_relative_error(self):
+        assert aggregate_accuracy(4.0, 5.0) == pytest.approx(0.8)
+
+    def test_overshoot(self):
+        assert aggregate_accuracy(6.0, 5.0) == pytest.approx(0.8)
+
+    def test_clamped_at_zero(self):
+        assert aggregate_accuracy(100.0, 5.0) == 0.0
+
+    def test_zero_truth_exact(self):
+        assert aggregate_accuracy(0.0, 0.0) == 1.0
+
+    def test_zero_truth_miss(self):
+        assert aggregate_accuracy(1.0, 0.0) == 0.0
+
+
+class TestSelectivity:
+    def test_fraction(self):
+        assert selectivity(5, 100) == pytest.approx(0.05)
+
+    def test_zero_frames_raises(self):
+        with pytest.raises(ValueError):
+            selectivity(1, 0)

@@ -1,0 +1,166 @@
+"""Unit tests for detection models and noise profiles."""
+
+import numpy as np
+import pytest
+
+from repro.data import ObjectArray
+from repro.models import (
+    Detection,
+    GroundTruthDetector,
+    NoiseProfile,
+    apply_noise,
+    available_models,
+    make_model,
+    point_rcnn,
+    pv_rcnn,
+    register_model,
+    second,
+)
+
+
+class TestDetectionView:
+    def test_score_validation(self):
+        from repro.geometry import BoundingBox3D
+
+        box = BoundingBox3D([0, 0, 0], [1, 1, 1])
+        Detection("Car", box, 0.5)
+        with pytest.raises(ValueError):
+            Detection("Car", box, 1.5)
+
+
+class TestGroundTruthDetector:
+    def test_returns_annotations(self, kitti_sequence):
+        frame = kitti_sequence[10]
+        output = GroundTruthDetector().detect(frame)
+        assert len(output) == frame.n_objects
+        assert np.allclose(output.objects.centers, frame.ground_truth.centers)
+
+    def test_strips_identities(self, kitti_sequence):
+        output = GroundTruthDetector().detect(kitti_sequence[10])
+        assert output.objects.ids is None
+        assert output.objects.velocities is None
+
+    def test_custom_cost(self):
+        assert GroundTruthDetector(cost_per_frame=0.2).cost_per_frame == 0.2
+        with pytest.raises(ValueError):
+            GroundTruthDetector(cost_per_frame=-1)
+
+    def test_detections_views(self, kitti_sequence):
+        output = GroundTruthDetector().detect(kitti_sequence[10])
+        views = output.detections()
+        assert len(views) == len(output)
+        if views:
+            assert isinstance(views[0], Detection)
+
+
+class TestNoiseProfiles:
+    def test_recall_monotone_in_distance(self):
+        profile = NoiseProfile()
+        recalls = profile.recall_at(np.array([5.0, 30.0, 50.0, 74.0]))
+        assert np.all(np.diff(recalls) <= 1e-12)
+
+    def test_near_recall(self):
+        profile = NoiseProfile(detect_prob_near=0.9)
+        assert profile.recall_at(np.array([1.0]))[0] == pytest.approx(0.9)
+
+    def test_apply_noise_empty_frame(self):
+        rng = np.random.default_rng(0)
+        out = apply_noise(
+            ObjectArray.empty(), NoiseProfile(false_positive_rate=0.0), rng
+        )
+        assert len(out) == 0
+
+    def test_apply_noise_score_threshold(self):
+        rng = np.random.default_rng(0)
+        profile = NoiseProfile(score_threshold=0.99, score_mean=0.5,
+                               false_positive_rate=0.0)
+        gt = ObjectArray(
+            labels=np.array(["Car"] * 10),
+            centers=np.tile([[5.0, 0, 0]], (10, 1)),
+            sizes=np.ones((10, 3)),
+            yaws=np.zeros(10),
+            scores=np.ones(10),
+        )
+        out = apply_noise(gt, profile, rng)
+        assert len(out) == 0  # all suppressed by the confidence cut
+
+    def test_false_positives_only(self):
+        rng = np.random.default_rng(1)
+        profile = NoiseProfile(false_positive_rate=10.0, score_threshold=0.05)
+        out = apply_noise(ObjectArray.empty(), profile, rng)
+        assert len(out) > 0
+
+
+class TestSimulatedDetectors:
+    def test_deterministic_per_frame(self, kitti_sequence):
+        model = pv_rcnn(seed=3)
+        a = model.detect(kitti_sequence[20])
+        b = model.detect(kitti_sequence[20])
+        assert np.allclose(a.objects.centers, b.objects.centers)
+        assert np.allclose(a.objects.scores, b.objects.scores)
+
+    def test_order_independence(self, kitti_sequence):
+        """Detecting frames in a different order must not change results."""
+        model_a = pv_rcnn(seed=3)
+        model_b = pv_rcnn(seed=3)
+        out_forward = [model_a.detect(kitti_sequence[i]).objects for i in (5, 6, 7)]
+        out_reverse = [model_b.detect(kitti_sequence[i]).objects for i in (7, 6, 5)]
+        for fwd, rev in zip(out_forward, reversed(out_reverse)):
+            assert np.allclose(fwd.centers, rev.centers)
+
+    def test_different_seeds_differ(self, kitti_sequence):
+        a = pv_rcnn(seed=1).detect(kitti_sequence[20])
+        b = pv_rcnn(seed=2).detect(kitti_sequence[20])
+        assert len(a) != len(b) or not np.allclose(a.objects.centers, b.objects.centers)
+
+    def test_costs_match_paper(self):
+        assert pv_rcnn().cost_per_frame == pytest.approx(0.10)
+        assert point_rcnn().cost_per_frame == pytest.approx(0.09)
+        assert second().cost_per_frame == pytest.approx(0.05)
+
+    def test_second_is_conservative(self, kitti_sequence):
+        """SECOND keeps only high-confidence boxes (paper RQ6)."""
+        pv = pv_rcnn(seed=3)
+        sec = second(seed=3)
+        frames = list(kitti_sequence[:50])
+        n_pv = sum(len(pv.detect(f)) for f in frames)
+        n_sec = sum(len(sec.detect(f)) for f in frames)
+        assert n_sec < n_pv
+        min_scores = [
+            sec.detect(f).objects.scores.min() for f in frames if len(sec.detect(f))
+        ]
+        assert min(min_scores) >= 0.55
+
+    def test_recall_reasonable(self, kitti_sequence):
+        model = pv_rcnn(seed=3)
+        total_gt = sum(f.n_objects for f in kitti_sequence[:50])
+        total_det = sum(len(model.detect(f)) for f in kitti_sequence[:50])
+        assert 0.6 * total_gt < total_det < 1.2 * total_gt
+
+    def test_above_confidence_filter(self, kitti_sequence):
+        output = pv_rcnn(seed=3).detect(kitti_sequence[20])
+        confident = output.above_confidence(0.8)
+        assert np.all(confident.scores >= 0.8)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_models()
+        for expected in ("pv_rcnn", "point_rcnn", "second", "ground_truth"):
+            assert expected in names
+
+    def test_make_model(self):
+        assert make_model("second", seed=1).name == "second"
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_model("yolo")
+
+    def test_register_and_overwrite_guard(self):
+        register_model("custom_gt", lambda seed=0: GroundTruthDetector())
+        assert make_model("custom_gt").name == "ground_truth"
+        with pytest.raises(ValueError, match="already"):
+            register_model("custom_gt", lambda seed=0: GroundTruthDetector())
+        register_model(
+            "custom_gt", lambda seed=0: GroundTruthDetector(), overwrite=True
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for the query-language parser."""
+
+import pytest
+
+from repro.query import (
+    AggregateQuery,
+    QuerySyntaxError,
+    RetrievalQuery,
+    parse_query,
+)
+
+
+class TestRetrievalParsing:
+    def test_basic(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3")
+        assert isinstance(query, RetrievalQuery)
+        assert query.object_filter.label == "Car"
+        assert query.object_filter.spatial.op == "<="
+        assert query.object_filter.spatial.threshold == 10.0
+        assert query.count_predicate.op == ">="
+        assert query.count_predicate.threshold == 3.0
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select frames where count(Car dist >= 5) <= 2")
+        assert isinstance(query, RetrievalQuery)
+        assert query.object_filter.label == "Car"
+
+    def test_label_case_preserved(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(pedestrian) >= 1")
+        assert query.object_filter.label == "pedestrian"
+
+    def test_wildcard_label(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(*) >= 1")
+        assert query.object_filter.label is None
+
+    def test_no_spatial_predicate(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        assert query.object_filter.spatial is None
+
+    def test_confidence_override(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car CONF 0.7) >= 1")
+        assert query.object_filter.confidence == pytest.approx(0.7)
+
+    def test_float_thresholds(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car DIST <= 12.5) >= 2")
+        assert query.object_filter.spatial.threshold == pytest.approx(12.5)
+
+
+class TestAggregateParsing:
+    @pytest.mark.parametrize("operator", ["AVG", "MED", "MIN", "MAX"])
+    def test_simple_operators(self, operator):
+        query = parse_query(f"SELECT {operator} OF COUNT(Car DIST <= 10)")
+        assert isinstance(query, AggregateQuery)
+        assert query.operator.lower() == operator.lower()
+        assert query.count_predicate is None
+
+    def test_count_aggregate(self):
+        query = parse_query("SELECT COUNT FRAMES WHERE COUNT(Car DIST <= 10) >= 3")
+        assert isinstance(query, AggregateQuery)
+        assert query.operator == "Count"
+        assert query.count_predicate.threshold == 3.0
+
+    def test_describe_roundtrip(self):
+        text = "SELECT FRAMES WHERE COUNT(Car dist <= 10) >= 3"
+        query = parse_query(text)
+        assert parse_query(query.describe()) == query
+
+    def test_aggregate_describe_roundtrip(self):
+        query = parse_query("SELECT AVG OF COUNT(* DIST >= 5)")
+        assert parse_query(query.describe()) == query
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "FRAMES WHERE COUNT(Car) >= 1",
+            "SELECT FRAMES COUNT(Car) >= 3",
+            "SELECT FRAMES WHERE COUNT(Car >= 3",
+            "SELECT FRAMES WHERE COUNT(Car) >= ",
+            "SELECT FRAMES WHERE COUNT(Car) >= 3 trailing",
+            "SELECT BOGUS OF COUNT(Car)",
+            "SELECT AVG COUNT(Car)",
+            "SELECT FRAMES WHERE COUNT(Car DIST 10) >= 3",
+            "SELECT FRAMES WHERE COUNT(Car) ?? 3",
+            "SELECT COUNT OF COUNT(Car)",
+        ],
+    )
+    def test_malformed_queries(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            parse_query("nope")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(QuerySyntaxError, match="position"):
+            parse_query("SELECT FRAMES WHERE COUNT(Car) @@ 3")

@@ -1,0 +1,122 @@
+"""Unit tests for the MASTPipeline facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import MASTConfig, MASTPipeline
+from repro.query import AggregateResult, RetrievalResult
+
+
+@pytest.fixture(scope="module")
+def pipeline(kitti_sequence, detector):
+    return MASTPipeline(MASTConfig(seed=4)).fit(kitti_sequence, detector)
+
+
+class TestFitAndQuery:
+    def test_query_before_fit_raises(self):
+        with pytest.raises(ValueError, match="fit"):
+            MASTPipeline().query("SELECT AVG OF COUNT(Car)")
+
+    def test_retrieval_query(self, pipeline):
+        result = pipeline.query("SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1")
+        assert isinstance(result, RetrievalResult)
+        assert result.n_frames == 400
+
+    def test_aggregate_query(self, pipeline):
+        result = pipeline.query("SELECT AVG OF COUNT(Car DIST <= 20)")
+        assert isinstance(result, AggregateResult)
+        assert result.value >= 0
+
+    def test_query_many(self, pipeline):
+        results = pipeline.query_many(
+            ["SELECT MIN OF COUNT(Car)", "SELECT MAX OF COUNT(Car)"]
+        )
+        assert results[0].value <= results[1].value
+
+    def test_avg_uses_linear_predictor(self, pipeline):
+        """Paper §7.1: MAST answers Avg with linear prediction."""
+        from repro.query import parse_query
+
+        query = parse_query("SELECT AVG OF COUNT(Car DIST <= 20)")
+        engine = pipeline._engine_for(query)
+        assert engine is pipeline._linear_engine
+
+    def test_med_uses_st_predictor(self, pipeline):
+        from repro.query import parse_query
+
+        query = parse_query("SELECT MED OF COUNT(Car DIST <= 20)")
+        assert pipeline._engine_for(query) is pipeline._st_engine
+
+    def test_retrieval_uses_st_predictor(self, pipeline):
+        from repro.query import parse_query
+
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        assert pipeline._engine_for(query) is pipeline._st_engine
+
+    def test_retrieval_predictor_override(self, kitti_sequence, detector):
+        config = MASTConfig(seed=4, retrieval_predictor="linear")
+        pipe = MASTPipeline(config).fit(kitti_sequence, detector)
+        from repro.query import parse_query
+
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        assert pipe._engine_for(query) is pipe._linear_retrieval_engine
+
+    def test_cost_summary(self, pipeline):
+        summary = pipeline.cost_summary()
+        assert summary["deep_model"] > 0
+        assert "indexing" in summary
+
+    def test_sampling_result_accessor(self, pipeline, kitti_sequence):
+        assert pipeline.sampling_result.n_frames == len(kitti_sequence)
+
+    def test_index_accessor(self, pipeline):
+        assert pipeline.index.n_frames == 400
+
+    def test_fit_returns_self(self, kitti_sequence, detector):
+        pipe = MASTPipeline(MASTConfig(seed=9))
+        assert pipe.fit(kitti_sequence, detector) is pipe
+
+
+class TestExtend:
+    def test_extend_before_fit_raises(self):
+        with pytest.raises(ValueError, match="fit"):
+            MASTPipeline().extend([])
+
+    def test_extend_ingests_new_batch(self, detector):
+        from repro.simulation import semantickitti_like
+
+        full = semantickitti_like(0, n_frames=300, with_points=False)
+        head = full.head(200, name=full.name)
+        pipe = MASTPipeline(MASTConfig(seed=4)).fit(head, detector)
+        n_before = len(pipe.sampling_result.sampled_ids)
+
+        pipe.extend(list(full[200:300]))
+        result = pipe.sampling_result
+        assert result.n_frames == 300
+        assert len(result.sampled_ids) > n_before
+        # New region received samples, including the final frame.
+        new_samples = result.sampled_ids[result.sampled_ids >= 200]
+        assert len(new_samples) >= 2
+        assert result.sampled_ids[-1] == 299
+
+    def test_extend_keeps_queries_working(self, detector):
+        from repro.simulation import semantickitti_like
+
+        full = semantickitti_like(0, n_frames=300, with_points=False)
+        pipe = MASTPipeline(MASTConfig(seed=4)).fit(
+            full.head(200, name=full.name), detector
+        )
+        pipe.extend(list(full[200:300]))
+        result = pipe.query("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        assert result.n_frames == 300
+
+    def test_extend_budget_fraction_preserved(self, detector):
+        from repro.simulation import semantickitti_like
+
+        full = semantickitti_like(0, n_frames=400, with_points=False)
+        pipe = MASTPipeline(MASTConfig(seed=4, budget_fraction=0.1)).fit(
+            full.head(200, name=full.name), detector
+        )
+        pipe.extend(list(full[200:400]))
+        fraction = pipe.sampling_result.sampling_fraction
+        assert fraction == pytest.approx(0.1, abs=0.02)

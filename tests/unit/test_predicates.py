@@ -1,0 +1,103 @@
+"""Unit tests for query predicates."""
+
+import numpy as np
+import pytest
+
+from repro.data import ObjectArray
+from repro.query import CountPredicate, ObjectFilter, SpatialPredicate, compare
+
+
+def make_scene():
+    """Three cars at 5/15/25 m and one pedestrian at 10 m."""
+    return ObjectArray(
+        labels=np.array(["Car", "Car", "Car", "Pedestrian"]),
+        centers=np.array(
+            [[5.0, 0, 0], [15.0, 0, 0], [25.0, 0, 0], [0.0, 10.0, 0]]
+        ),
+        sizes=np.ones((4, 3)),
+        yaws=np.zeros(4),
+        scores=np.array([0.9, 0.9, 0.4, 0.9]),
+    )
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("<=", [True, True, False]), (">=", [False, True, True]),
+         ("<", [True, False, False]), (">", [False, False, True])],
+    )
+    def test_operators(self, op, expected):
+        values = np.array([1.0, 2.0, 3.0])
+        assert list(compare(values, op, 2.0)) == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            compare(np.array([1.0]), "==", 1.0)
+
+
+class TestSpatialPredicate:
+    def test_mask(self):
+        pred = SpatialPredicate("<=", 10.0)
+        assert list(pred.mask(np.array([5.0, 10.0, 11.0]))) == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpatialPredicate("!!", 5.0)
+        with pytest.raises(ValueError):
+            SpatialPredicate("<=", -1.0)
+
+    def test_describe(self):
+        assert SpatialPredicate(">=", 5.0).describe() == "dist >= 5"
+
+    def test_hashable(self):
+        assert SpatialPredicate("<=", 5.0) == SpatialPredicate("<=", 5.0)
+        assert hash(SpatialPredicate("<=", 5.0)) == hash(SpatialPredicate("<=", 5.0))
+
+
+class TestCountPredicate:
+    def test_mask(self):
+        pred = CountPredicate(">=", 3)
+        assert list(pred.mask(np.array([2, 3, 4]))) == [False, True, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountPredicate("~", 3)
+
+
+class TestObjectFilter:
+    def test_label_filter(self):
+        assert ObjectFilter(label="Car", confidence=0.0).count(make_scene()) == 3
+
+    def test_wildcard_label(self):
+        assert ObjectFilter(label=None, confidence=0.0).count(make_scene()) == 4
+
+    def test_spatial_filter(self):
+        object_filter = ObjectFilter(
+            label="Car", spatial=SpatialPredicate("<=", 15.0), confidence=0.0
+        )
+        assert object_filter.count(make_scene()) == 2
+
+    def test_confidence_cut(self):
+        object_filter = ObjectFilter(label="Car", confidence=0.5)
+        assert object_filter.count(make_scene()) == 2  # 0.4-score car dropped
+
+    def test_default_confidence_is_half(self):
+        assert ObjectFilter(label="Car").confidence == 0.5
+
+    def test_combined(self):
+        object_filter = ObjectFilter(
+            label="Car", spatial=SpatialPredicate(">=", 10.0), confidence=0.5
+        )
+        assert object_filter.count(make_scene()) == 1
+
+    def test_describe(self):
+        object_filter = ObjectFilter(label="Car", spatial=SpatialPredicate("<=", 10))
+        assert object_filter.describe() == "Car dist <= 10"
+        assert ObjectFilter().describe() == "*"
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            ObjectFilter(confidence=2.0)
+
+    def test_empty_scene(self):
+        assert ObjectFilter(label="Car").count(ObjectArray.empty()) == 0

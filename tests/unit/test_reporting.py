@@ -1,0 +1,50 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.evalx import format_percent, format_seconds, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["method", "f1"], [["mast", 0.845], ["seiden", 0.77]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "mast" in lines[2]
+        assert "0.845" in lines[2]
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="Table 3")
+        assert table.splitlines()[0] == "Table 3"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_widths_accommodate_long_cells(self):
+        table = format_table(["x"], [["a-very-long-cell"]])
+        header, sep, row = table.splitlines()
+        assert len(header) == len(row)
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        series = format_series("Fig 9", [5, 10], [0.79, 0.84], x_label="budget")
+        assert "Fig 9" in series
+        assert "budget" in series
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], [1])
+
+
+class TestScalarFormats:
+    def test_percent(self):
+        assert format_percent(93.4751) == "93.475"
+
+    def test_seconds_ranges(self):
+        assert format_seconds(123.456) == "123.5"
+        assert format_seconds(12.345) == "12.35"
+        assert format_seconds(0.1234) == "0.123"

@@ -1,0 +1,89 @@
+"""Unit tests for the sampling rewards (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_deviation_reward, st_reward
+from repro.data import ObjectArray
+
+
+def scene(xs, labels=None):
+    xs = list(xs)
+    n = len(xs)
+    return ObjectArray(
+        labels=np.asarray(labels if labels is not None else ["Car"] * n),
+        centers=np.column_stack([xs, np.zeros(n), np.zeros(n)]),
+        sizes=np.ones((n, 3)),
+        yaws=np.zeros(n),
+        scores=np.full(n, 0.9),
+    )
+
+
+class TestSTReward:
+    def test_perfect_prediction_zero_reward(self):
+        a = scene([0.0, 10.0])
+        assert st_reward(a, scene([0.0, 10.0]), d_max=75.0) == pytest.approx(0.0)
+
+    def test_distance_term(self):
+        estimated = scene([0.0])
+        actual = scene([7.5])
+        reward = st_reward(estimated, actual, d_max=75.0, c_var=0.0)
+        assert reward == pytest.approx(7.5 / 75.0)
+
+    def test_distance_term_normalized_by_matches(self):
+        estimated = scene([0.0, 20.0])
+        actual = scene([7.5, 27.5])
+        reward = st_reward(estimated, actual, d_max=75.0, c_var=0.0)
+        assert reward == pytest.approx(15.0 / (75.0 * 2))
+
+    def test_cardinality_term(self):
+        estimated = scene([0.0])
+        actual = scene([0.0, 30.0, 40.0])
+        reward = st_reward(estimated, actual, d_max=75.0, c_var=1.0)
+        assert reward == pytest.approx(2.0)  # |1| + |3| - 2*1
+
+    def test_mixed_weights(self):
+        estimated = scene([0.0])
+        actual = scene([7.5, 30.0])
+        reward = st_reward(estimated, actual, d_max=75.0, c_var=0.5)
+        assert reward == pytest.approx(0.5 * (7.5 / 75.0) + 0.5 * 1.0)
+
+    def test_label_mismatch_counts_as_unmatched(self):
+        estimated = scene([0.0], labels=["Car"])
+        actual = scene([0.0], labels=["Pedestrian"])
+        reward = st_reward(estimated, actual, d_max=75.0, c_var=1.0)
+        assert reward == pytest.approx(2.0)
+
+    def test_both_empty(self):
+        empty = ObjectArray.empty()
+        assert st_reward(empty, empty, d_max=75.0) == 0.0
+
+    def test_one_empty(self):
+        reward = st_reward(ObjectArray.empty(), scene([0.0]), d_max=75.0, c_var=0.5)
+        assert reward == pytest.approx(0.5)
+
+    def test_higher_deviation_higher_reward(self):
+        base = scene([0.0, 10.0])
+        small = st_reward(base, scene([1.0, 11.0]), d_max=75.0)
+        large = st_reward(base, scene([5.0, 15.0]), d_max=75.0)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            st_reward(scene([0.0]), scene([0.0]), d_max=0.0)
+        with pytest.raises(ValueError):
+            st_reward(scene([0.0]), scene([0.0]), d_max=1.0, c_var=2.0)
+
+
+class TestCountDeviationReward:
+    def test_zero_deviation(self):
+        assert count_deviation_reward(5, 5.0) == 0.0
+
+    def test_bounded_below_one(self):
+        assert count_deviation_reward(100, 0.0) < 1.0
+
+    def test_monotone(self):
+        assert count_deviation_reward(5, 3.0) > count_deviation_reward(5, 4.0)
+
+    def test_symmetric(self):
+        assert count_deviation_reward(3, 5.0) == count_deviation_reward(5, 3.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the Fig-12 / RQ8 sampling study utilities."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import (
+    extrema_coverage,
+    local_extrema,
+    sampling_density_profile,
+    study_sampling,
+)
+
+
+class TestLocalExtrema:
+    def test_simple_sine(self):
+        t = np.linspace(0, 4 * np.pi, 400)
+        y = np.sin(t)
+        minima, maxima = local_extrema(y)
+        assert len(maxima) == 2
+        assert len(minima) == 2
+
+    def test_plateau_center(self):
+        y = np.array([0, 1, 2, 2, 2, 1, 0], dtype=float)
+        minima, maxima = local_extrema(y)
+        assert list(maxima) == [3]
+        assert len(minima) == 0
+
+    def test_monotone_has_no_extrema(self):
+        minima, maxima = local_extrema(np.arange(10.0))
+        assert len(minima) == 0 and len(maxima) == 0
+
+    def test_smoothing_removes_flicker(self):
+        rng = np.random.default_rng(0)
+        y = np.sin(np.linspace(0, 2 * np.pi, 200)) + rng.normal(0, 0.2, 200)
+        raw_min, raw_max = local_extrema(y)
+        smooth_min, smooth_max = local_extrema(y, smooth_window=15)
+        assert len(smooth_min) + len(smooth_max) < len(raw_min) + len(raw_max)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            local_extrema(np.array([1.0, 2.0]))
+
+
+class TestExtremaCoverage:
+    def test_full_coverage(self):
+        y = np.sin(np.linspace(0, 4 * np.pi, 400))
+        minima, maxima = local_extrema(y)
+        sampled = np.concatenate([minima, maxima, [0, 399]])
+        assert extrema_coverage(y, sampled, tolerance=0) == 1.0
+
+    def test_no_coverage(self):
+        y = np.sin(np.linspace(0, 4 * np.pi, 400))
+        assert extrema_coverage(y, np.array([0, 399]), tolerance=2) == 0.0
+
+    def test_tolerance_window(self):
+        y = np.sin(np.linspace(0, 2 * np.pi, 100))
+        minima, maxima = local_extrema(y)
+        near = np.array([int(maxima[0]) + 3, 0, 99])
+        assert extrema_coverage(y, near, tolerance=3) > 0.0
+        assert extrema_coverage(y, near, tolerance=1) == 0.0
+
+    def test_flat_signal_trivially_covered(self):
+        assert extrema_coverage(np.zeros(50), np.array([0, 49])) == 1.0
+
+
+class TestDensityProfile:
+    def test_counts_sum_to_samples(self):
+        sampled = np.array([0, 5, 10, 50, 90, 99])
+        profile = sampling_density_profile(sampled, 100, n_bins=10)
+        assert profile.sum() == len(sampled)
+
+    def test_concentration_detected(self):
+        sampled = np.arange(40, 60)
+        profile = sampling_density_profile(sampled, 100, n_bins=10)
+        assert profile[4] + profile[5] == len(sampled)
+
+
+class TestStudySampling:
+    def test_extrema_targeting_beats_random(self):
+        """A sampler that hits extrema scores higher coverage than random."""
+        y = np.sin(np.linspace(0, 8 * np.pi, 800)) * 3
+        minima, maxima = local_extrema(y, )
+        targeted = np.unique(
+            np.concatenate([minima, maxima, np.linspace(0, 799, 20).astype(int)])
+        )
+        study = study_sampling(y, targeted, smooth_window=1, rng=np.random.default_rng(1))
+        assert study.coverage == 1.0
+        assert study.coverage >= study.coverage_random_baseline
+
+    def test_fields_populated(self):
+        y = np.sin(np.linspace(0, 4 * np.pi, 400))
+        sampled = np.linspace(0, 399, 40).astype(int)
+        study = study_sampling(y, sampled)
+        assert study.n_extrema >= 0
+        assert 0.0 <= study.coverage <= 1.0
+        assert study.density_profile.sum() == len(sampled)
+        assert study.dynamic_density_ratio >= 0.0

@@ -1,0 +1,181 @@
+"""Unit tests for scenario builders (presets + scripted scenes)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    ScriptedActor,
+    ScriptedScenario,
+    empty_road_scenario,
+    highway_scenario,
+    parking_lot_scenario,
+    urban_scenario,
+)
+
+
+class TestPresetScenarios:
+    def test_highway_is_fast_and_carish(self):
+        sequence = highway_scenario(n_frames=200, with_points=False)
+        labels = set()
+        speeds = []
+        for frame in sequence:
+            gt = frame.ground_truth
+            labels |= gt.label_set()
+            if len(gt):
+                speeds.extend(np.linalg.norm(gt.velocities, axis=1).tolist())
+        assert labels <= {"Car", "Truck"}
+        assert np.mean(speeds) > 10.0  # relative speeds are highway-scale
+
+    def test_urban_has_pedestrians(self):
+        sequence = urban_scenario(n_frames=300, with_points=False)
+        pedestrians = sequence.ground_truth_counts("Pedestrian").sum()
+        assert pedestrians > 0
+
+    def test_parking_lot_is_mostly_static(self):
+        sequence = parking_lot_scenario(n_frames=200, with_points=False)
+        # Relative speed ~ ego speed for parked cars; ego crawls at ~2 m/s.
+        speeds = []
+        for frame in sequence:
+            gt = frame.ground_truth
+            if len(gt):
+                speeds.extend(np.linalg.norm(gt.velocities, axis=1).tolist())
+        assert np.median(speeds) < 5.0
+
+    def test_empty_road_is_sparse(self):
+        sparse = empty_road_scenario(n_frames=300, with_points=False)
+        busy = urban_scenario(n_frames=300, with_points=False)
+        assert (
+            sparse.ground_truth_counts().mean()
+            < 0.3 * busy.ground_truth_counts().mean()
+        )
+
+    def test_presets_deterministic(self):
+        a = highway_scenario(n_frames=100, seed=4, with_points=False)
+        b = highway_scenario(n_frames=100, seed=4, with_points=False)
+        assert np.array_equal(a.ground_truth_counts(), b.ground_truth_counts())
+
+
+class TestScriptedActor:
+    def test_waypoint_validation(self):
+        with pytest.raises(ValueError):
+            ScriptedActor("Car", ())
+        with pytest.raises(ValueError):
+            ScriptedActor("Car", ((1.0, 0, 0), (0.0, 1, 1)))
+        with pytest.raises(ValueError):
+            ScriptedActor("Car", ((0.0, 1),))
+
+    def test_position_interpolation(self):
+        actor = ScriptedActor("Car", ((0.0, 0.0, 0.0), (2.0, 10.0, 4.0)))
+        assert np.allclose(actor.position_at(1.0), [5.0, 2.0])
+
+    def test_position_outside_span_is_none(self):
+        actor = ScriptedActor("Car", ((1.0, 0.0, 0.0), (2.0, 10.0, 0.0)))
+        assert actor.position_at(0.5) is None
+        assert actor.position_at(2.5) is None
+
+    def test_velocity_piecewise(self):
+        actor = ScriptedActor(
+            "Car", ((0.0, 0.0, 0.0), (1.0, 10.0, 0.0), (3.0, 10.0, 4.0))
+        )
+        assert np.allclose(actor.velocity_at(0.5), [10.0, 0.0])
+        assert np.allclose(actor.velocity_at(2.0), [0.0, 2.0])
+
+    def test_single_waypoint_velocity_zero(self):
+        actor = ScriptedActor("Car", ((0.0, 3.0, 4.0),))
+        assert np.allclose(actor.velocity_at(0.0), [0.0, 0.0])
+
+
+class TestScriptedScenario:
+    def test_build_shape(self):
+        scenario = ScriptedScenario(fps=10.0, duration=2.0)
+        sequence = scenario.build()
+        assert len(sequence) == 21
+        assert sequence.fps == 10.0
+
+    def test_actor_appears_in_window_only(self):
+        scenario = ScriptedScenario(fps=10.0, duration=3.0)
+        scenario.add_actor("Car", [(1.0, 10.0, 0.0), (2.0, 20.0, 0.0)])
+        sequence = scenario.build()
+        counts = sequence.ground_truth_counts("Car")
+        assert counts[5] == 0   # t = 0.5, before the window
+        assert counts[15] == 1  # t = 1.5, inside
+        assert counts[25] == 0  # t = 2.5, after
+
+    def test_exact_positions(self):
+        scenario = ScriptedScenario(fps=10.0, duration=2.0)
+        scenario.add_actor("Car", [(0.0, 0.0, 0.0), (2.0, 20.0, 0.0)])
+        sequence = scenario.build()
+        frame = sequence[10]  # t = 1.0 -> x = 10
+        assert np.allclose(frame.ground_truth.centers[0, :2], [10.0, 0.0])
+
+    def test_ground_truth_velocities(self):
+        scenario = ScriptedScenario(fps=10.0, duration=2.0)
+        scenario.add_actor("Car", [(0.0, 0.0, 0.0), (2.0, 20.0, 10.0)])
+        gt = scenario.build()[5].ground_truth
+        assert np.allclose(gt.velocities[0], [10.0, 5.0])
+
+    def test_ids_stable(self):
+        scenario = ScriptedScenario(fps=10.0, duration=1.0)
+        scenario.add_actor("Car", [(0.0, 5.0, 0.0), (1.0, 6.0, 0.0)])
+        scenario.add_actor("Truck", [(0.0, 15.0, 0.0), (1.0, 16.0, 0.0)])
+        sequence = scenario.build()
+        for frame in sequence:
+            assert list(frame.ground_truth.ids) == [0, 1]
+
+    def test_chaining(self):
+        scenario = (
+            ScriptedScenario(fps=5.0, duration=1.0)
+            .add_actor("Car", [(0.0, 5.0, 0.0), (1.0, 6.0, 0.0)])
+            .add_actor("Car", [(0.0, -5.0, 0.0), (1.0, -6.0, 0.0)])
+        )
+        assert scenario.build().ground_truth_counts("Car").max() == 2
+
+
+class TestScriptedEndToEnd:
+    def test_st_prediction_matches_script_exactly(self):
+        """A constant-velocity scripted car must be predicted exactly by
+        ST-PC analysis: sample two frames, predict the midpoint."""
+        from repro.core import analyze_pair
+        from repro.models import GroundTruthDetector
+
+        scenario = ScriptedScenario(fps=10.0, duration=4.0)
+        scenario.add_actor("Car", [(0.0, 0.0, -10.0), (4.0, 0.0, 30.0)])
+        sequence = scenario.build()
+        detector = GroundTruthDetector()
+        first = detector.detect(sequence[0]).objects
+        last = detector.detect(sequence[40]).objects
+        estimate = analyze_pair(first, last, 0.0, 4.0)
+        predicted = estimate.predict(2.0)
+        expected = scenario.ground_truth_at(2.0)
+        assert np.allclose(
+            predicted.centers[0, :2], expected.centers[0, :2], atol=1e-9
+        )
+
+    def test_pipeline_on_scripted_crossing(self):
+        """Two crossing cars through the whole pipeline: the count-series
+        for a 10 m radius matches the script's analytic occupancy."""
+        from repro.core import MASTConfig, MASTPipeline
+        from repro.models import GroundTruthDetector
+
+        scenario = ScriptedScenario(fps=10.0, duration=8.0)
+        # Car A passes through the origin region between t=2 and t=6.
+        scenario.add_actor("Car", [(0.0, -40.0, 2.0), (8.0, 40.0, 2.0)])
+        # Car B stays far away the whole time.
+        scenario.add_actor("Car", [(0.0, 50.0, 50.0), (8.0, 55.0, 50.0)])
+        sequence = scenario.build()
+        pipeline = MASTPipeline(
+            MASTConfig(seed=1, budget_fraction=0.3)
+        ).fit(sequence, GroundTruthDetector())
+        result = pipeline.query("SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 1")
+        # Analytically: |x(t)| <= sqrt(100-4) for x(t) = -40 + 10 t.
+        import math
+
+        expected_frames = {
+            frame_id
+            for frame_id in range(len(sequence))
+            if abs(-40.0 + 10.0 * (frame_id / 10.0)) <= math.sqrt(96.0)
+        }
+        missed = expected_frames - result.id_set()
+        spurious = result.id_set() - expected_frames
+        # ST prediction is exact for constant-velocity motion.
+        assert len(missed) <= 1 and len(spurious) <= 1

@@ -1,0 +1,163 @@
+"""Unit tests for the driving-world simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    ALL_LABELS,
+    DEFAULT_ACTOR_TYPES,
+    ActorTypeSpec,
+    TrafficWorld,
+    WorldConfig,
+)
+from repro.simulation.world import GROUND_Z
+
+
+def small_world(seed=0, **overrides):
+    config = WorldConfig(**overrides)
+    return TrafficWorld(config, seed=seed)
+
+
+class TestActorTypes:
+    def test_default_labels(self):
+        assert set(ALL_LABELS) == {"Car", "Pedestrian", "Cyclist", "Truck"}
+
+    def test_sample_size_positive(self):
+        rng = np.random.default_rng(0)
+        for spec in DEFAULT_ACTOR_TYPES:
+            for _ in range(20):
+                assert np.all(spec.sample_size(rng) > 0)
+
+    def test_sample_speed_range(self):
+        rng = np.random.default_rng(0)
+        spec = ActorTypeSpec(
+            label="X", size_mean=(1, 1, 1), size_sigma=0.1,
+            speed_range=(2.0, 4.0), spawn_weight=1.0,
+        )
+        speeds = [spec.sample_speed(rng) for _ in range(50)]
+        assert all(2.0 <= s <= 4.0 for s in speeds)
+
+    def test_parked_probability(self):
+        rng = np.random.default_rng(0)
+        spec = ActorTypeSpec(
+            label="X", size_mean=(1, 1, 1), size_sigma=0.1,
+            speed_range=(2.0, 4.0), spawn_weight=1.0, parked_probability=1.0,
+        )
+        assert all(spec.sample_speed(rng) == 0.0 for _ in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActorTypeSpec("", (1, 1, 1), 0.1, (1, 2), 1.0)
+        with pytest.raises(ValueError):
+            ActorTypeSpec("X", (1, 1, 1), 0.1, (3, 2), 1.0)
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        WorldConfig()
+
+    def test_bad_spawn_radius(self):
+        with pytest.raises(ValueError, match="spawn_radius"):
+            WorldConfig(spawn_radius=(10.0, 5.0))
+
+
+class TestTrafficWorld:
+    def test_initial_population(self):
+        world = small_world(initial_actors=12)
+        assert world.n_active_actors == 12
+
+    def test_determinism(self):
+        def run(seed):
+            world = small_world(seed=seed)
+            counts = []
+            for _ in range(50):
+                counts.append(len(world.observe()))
+                world.step(0.1)
+            return counts
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_time_advances(self):
+        world = small_world()
+        world.step(0.1)
+        world.step(0.1)
+        assert world.time == pytest.approx(0.2)
+
+    def test_step_rejects_non_positive_dt(self):
+        with pytest.raises(ValueError):
+            small_world().step(0.0)
+
+    def test_observe_within_sensor_range(self):
+        world = small_world()
+        for _ in range(30):
+            gt = world.observe()
+            if len(gt):
+                assert np.all(gt.distances_to_origin() <= world.config.sensor_range + 1e-9)
+            world.step(0.1)
+
+    def test_observe_boxes_on_ground(self):
+        world = small_world()
+        gt = world.observe()
+        if len(gt):
+            bottoms = gt.centers[:, 2] - gt.sizes[:, 2] / 2.0
+            assert np.allclose(bottoms, GROUND_Z)
+
+    def test_observe_has_ids_and_velocities(self):
+        world = small_world()
+        gt = world.observe()
+        assert gt.ids is not None
+        assert gt.velocities is not None
+
+    def test_ids_persist_across_steps(self):
+        world = small_world()
+        before = set(world.observe().ids.tolist())
+        world.step(0.1)
+        after = set(world.observe().ids.tolist())
+        # Most actors survive a 0.1 s step.
+        assert len(before & after) >= len(before) // 2
+
+    def test_spawn_process_replenishes(self):
+        world = small_world(initial_actors=0, base_spawn_rate=5.0)
+        for _ in range(100):
+            world.step(0.1)
+        assert world.n_active_actors > 0
+
+    def test_ego_moves(self):
+        world = small_world()
+        start = world.ego_pose
+        for _ in range(20):
+            world.step(0.1)
+        moved = np.hypot(world.ego_pose.x - start.x, world.ego_pose.y - start.y)
+        assert moved > 1.0
+
+    def test_object_motion_is_smooth(self):
+        """Counts within a radius change by small steps at 10 FPS.
+
+        Traffic bursts (convoys) are allowed to spike the count, but the
+        typical step must stay small — that is the temporal continuity
+        MAST exploits.
+        """
+        world = small_world(seed=5, burst_rate=0.0)
+        counts = []
+        for _ in range(200):
+            gt = world.observe()
+            counts.append(int(np.sum(gt.distances_to_origin() <= 30.0)))
+            world.step(0.1)
+        deltas = np.abs(np.diff(counts))
+        assert deltas.mean() < 1.0
+        assert deltas.max() <= 6
+
+    def test_bursts_create_count_spikes(self):
+        """With a high burst rate, sharp y(t) peaks appear (Fig. 12 shape)."""
+        calm = small_world(seed=5, burst_rate=0.0)
+        busy = small_world(seed=5, burst_rate=0.5)
+
+        def max_delta(world):
+            counts = []
+            for _ in range(300):
+                counts.append(len(world.observe()))
+                world.step(0.1)
+            return int(np.abs(np.diff(counts)).max())
+
+        assert max_delta(busy) > max_delta(calm)

@@ -1,0 +1,223 @@
+"""Unit tests for extended spatial filters and the operator registry."""
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    AllOf,
+    ObjectFilter,
+    RegionPredicate,
+    SectorPredicate,
+    SpatialPredicate,
+    build_spatial_operator,
+    parse_query,
+    register_spatial_operator,
+    spatial_operator_keywords,
+)
+
+POSITIONS = np.array(
+    [
+        [10.0, 0.0],   # straight ahead
+        [0.0, 10.0],   # left
+        [-10.0, 0.0],  # behind
+        [0.0, -10.0],  # right
+        [4.0, 3.0],    # ahead-left (36.9 deg), 5 m
+    ]
+)
+
+
+class TestSectorPredicate:
+    def test_forward_cone(self):
+        sector = SectorPredicate(-45.0, 45.0)
+        assert list(sector.mask_positions(POSITIONS)) == [
+            True, False, False, False, True,
+        ]
+
+    def test_left_half(self):
+        sector = SectorPredicate(0.0, 180.0)
+        mask = sector.mask_positions(POSITIONS)
+        assert bool(mask[1]) is True   # left
+        assert bool(mask[3]) is False  # right
+
+    def test_wraparound_sector(self):
+        """A sector crossing the +-180 boundary (behind the vehicle)."""
+        sector = SectorPredicate(135.0, 225.0)
+        mask = sector.mask_positions(POSITIONS)
+        assert bool(mask[2]) is True   # behind
+        assert bool(mask[0]) is False  # ahead
+
+    def test_degenerate_sector_rejected(self):
+        with pytest.raises(ValueError):
+            SectorPredicate(30.0, 30.0 + 720.0)
+        with pytest.raises(ValueError):
+            SectorPredicate(30.0, 30.0)
+        with pytest.raises(ValueError):
+            SectorPredicate(30.0, 10.0)
+
+    def test_full_circle_allowed(self):
+        sector = SectorPredicate(0.0, 360.0)
+        assert sector.mask_positions(POSITIONS).all()
+
+    def test_describe(self):
+        assert SectorPredicate(-45, 45).describe() == "sector -45 45"
+
+    def test_bad_positions_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            SectorPredicate(0, 90).mask_positions(np.zeros(3))
+
+
+class TestRegionPredicate:
+    def test_inside_outside(self):
+        region = RegionPredicate(0.0, -5.0, 20.0, 5.0)
+        assert list(region.mask_positions(POSITIONS)) == [
+            True, False, False, False, True,
+        ]
+
+    def test_boundary_inclusive(self):
+        region = RegionPredicate(0.0, 0.0, 10.0, 10.0)
+        assert bool(region.mask_positions(np.array([[10.0, 10.0]]))[0])
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError, match="extent"):
+            RegionPredicate(5.0, 0.0, 5.0, 10.0)
+
+    def test_describe(self):
+        assert RegionPredicate(0, -5, 20, 5).describe() == "region 0 -5 20 5"
+
+
+class TestAllOf:
+    def test_conjunction(self):
+        combined = AllOf(
+            (SpatialPredicate("<=", 12.0), SectorPredicate(-45.0, 45.0))
+        )
+        assert list(combined.mask_positions(POSITIONS)) == [
+            True, False, False, False, True,
+        ]
+
+    def test_needs_filters(self):
+        with pytest.raises(ValueError):
+            AllOf(())
+
+    def test_describe_joins(self):
+        combined = AllOf((SpatialPredicate("<=", 12.0), SectorPredicate(0, 90)))
+        assert combined.describe() == "dist <= 12 sector 0 90"
+
+
+class TestDistanceAsPositions:
+    def test_spatial_predicate_mask_positions(self):
+        pred = SpatialPredicate("<=", 6.0)
+        assert list(pred.mask_positions(POSITIONS)) == [
+            False, False, False, False, True,
+        ]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        keywords = spatial_operator_keywords()
+        assert "SECTOR" in keywords and "REGION" in keywords
+
+    def test_build(self):
+        sector = build_spatial_operator("sector", [0.0, 90.0])
+        assert isinstance(sector, SectorPredicate)
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="argument"):
+            build_spatial_operator("SECTOR", [1.0])
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_spatial_operator("HALO", [])
+
+    def test_reserved_keywords(self):
+        with pytest.raises(ValueError, match="reserved"):
+            register_spatial_operator("DIST", 1, SpatialPredicate)
+
+    def test_register_custom_operator_usable_from_text(self):
+        """The paper's 'adding spatial operators' extensibility claim."""
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Ring:
+            inner: float
+            outer: float
+
+            def mask_positions(self, positions):
+                positions = np.asarray(positions)
+                dist = np.hypot(positions[:, 0], positions[:, 1])
+                return (dist >= self.inner) & (dist <= self.outer)
+
+            def describe(self):
+                return f"ring {self.inner:g} {self.outer:g}"
+
+        register_spatial_operator("RING", 2, Ring, overwrite=True)
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car RING 5 15) >= 1")
+        assert isinstance(query.object_filter.spatial, Ring)
+        mask = query.object_filter.spatial.mask_positions(POSITIONS)
+        assert list(mask) == [True, True, True, True, True]
+
+    def test_duplicate_registration_guard(self):
+        register_spatial_operator("DUPE", 0, lambda: None, overwrite=True)
+        with pytest.raises(ValueError, match="already"):
+            register_spatial_operator("DUPE", 0, lambda: None)
+
+
+class TestObjectFilterWithSpatialFilters:
+    def _objects(self):
+        from repro.data import ObjectArray
+
+        n = len(POSITIONS)
+        return ObjectArray(
+            labels=np.array(["Car"] * n),
+            centers=np.column_stack([POSITIONS, np.zeros(n)]),
+            sizes=np.ones((n, 3)),
+            yaws=np.zeros(n),
+            scores=np.ones(n),
+        )
+
+    def test_count_with_sector(self):
+        object_filter = ObjectFilter(
+            label="Car", spatial=SectorPredicate(-45.0, 45.0)
+        )
+        assert object_filter.count(self._objects()) == 2
+
+    def test_count_with_region(self):
+        object_filter = ObjectFilter(
+            label="Car", spatial=RegionPredicate(0, -5, 20, 5)
+        )
+        assert object_filter.count(self._objects()) == 2
+
+    def test_rejects_non_spatial_object(self):
+        with pytest.raises(TypeError, match="mask_positions"):
+            ObjectFilter(label="Car", spatial="nearby")
+
+
+class TestParserSpatialGrammar:
+    def test_sector_clause(self):
+        query = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car SECTOR -45 45) >= 1"
+        )
+        assert isinstance(query.object_filter.spatial, SectorPredicate)
+
+    def test_region_clause_with_negative_numbers(self):
+        query = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car REGION -10 -5 30 5) >= 1"
+        )
+        region = query.object_filter.spatial
+        assert isinstance(region, RegionPredicate)
+        assert region.x_min == -10.0 and region.y_min == -5.0
+
+    def test_multiple_clauses_conjoin(self):
+        query = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car DIST <= 20 SECTOR -45 45) >= 2"
+        )
+        assert isinstance(query.object_filter.spatial, AllOf)
+        assert len(query.object_filter.spatial.filters) == 2
+
+    def test_describe_roundtrip_with_sector(self):
+        text = "SELECT FRAMES WHERE COUNT(Car DIST <= 20 SECTOR -45 45) >= 2"
+        query = parse_query(text)
+        assert parse_query(query.describe()) == query
+
+    def test_aggregate_with_region(self):
+        query = parse_query("SELECT AVG OF COUNT(Car REGION 0 -5 30 5)")
+        assert isinstance(query.object_filter.spatial, RegionPredicate)

@@ -1,0 +1,82 @@
+"""Unit tests for npz persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ObjectArray,
+    load_detections,
+    load_sequence,
+    save_detections,
+    save_sequence,
+)
+from repro.simulation import semantickitti_like
+
+
+@pytest.fixture(scope="module")
+def small_sequence():
+    return semantickitti_like(0, n_frames=30, with_points=False)
+
+
+class TestSequenceRoundtrip:
+    def test_roundtrip_preserves_metadata(self, small_sequence, tmp_path):
+        path = save_sequence(small_sequence, tmp_path / "seq.npz")
+        loaded = load_sequence(path)
+        assert loaded.name == small_sequence.name
+        assert loaded.fps == small_sequence.fps
+        assert len(loaded) == len(small_sequence)
+        assert np.allclose(loaded.timestamps, small_sequence.timestamps)
+
+    def test_roundtrip_preserves_ground_truth(self, small_sequence, tmp_path):
+        path = save_sequence(small_sequence, tmp_path / "seq.npz")
+        loaded = load_sequence(path)
+        for original, restored in zip(small_sequence, loaded):
+            assert len(restored.ground_truth) == len(original.ground_truth)
+            assert np.allclose(
+                restored.ground_truth.centers, original.ground_truth.centers
+            )
+            assert np.array_equal(
+                restored.ground_truth.labels, original.ground_truth.labels
+            )
+            assert np.array_equal(restored.ground_truth.ids, original.ground_truth.ids)
+
+    def test_roundtrip_preserves_poses(self, small_sequence, tmp_path):
+        path = save_sequence(small_sequence, tmp_path / "seq.npz")
+        loaded = load_sequence(path)
+        for original, restored in zip(small_sequence, loaded):
+            assert restored.ego_pose.x == pytest.approx(original.ego_pose.x)
+            assert restored.ego_pose.yaw == pytest.approx(original.ego_pose.yaw)
+
+    def test_points_not_persisted(self, small_sequence, tmp_path):
+        path = save_sequence(small_sequence, tmp_path / "seq.npz")
+        loaded = load_sequence(path)
+        assert not loaded[0].has_points
+
+    def test_creates_parent_directories(self, small_sequence, tmp_path):
+        path = save_sequence(small_sequence, tmp_path / "deep" / "dir" / "seq.npz")
+        assert path.exists()
+
+
+class TestDetectionsRoundtrip:
+    def test_roundtrip(self, small_sequence, tmp_path):
+        from repro.models import pv_rcnn
+
+        model = pv_rcnn(seed=1)
+        detections = {
+            frame.frame_id: model.detect(frame).objects
+            for frame in small_sequence[:5]
+        }
+        path = save_detections(detections, tmp_path / "det.npz", model_name="pv_rcnn")
+        restored, model_name = load_detections(path)
+        assert model_name == "pv_rcnn"
+        assert set(restored) == set(detections)
+        for frame_id, objects in detections.items():
+            assert np.allclose(restored[frame_id].centers, objects.centers)
+            assert np.allclose(restored[frame_id].scores, objects.scores)
+
+    def test_empty_detection_sets_survive(self, tmp_path):
+        detections = {0: ObjectArray.empty(), 5: ObjectArray.empty()}
+        path = save_detections(detections, tmp_path / "det.npz")
+        restored, _ = load_detections(path)
+        assert set(restored) == {0, 5}
+        assert len(restored[0]) == 0

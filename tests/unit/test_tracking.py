@@ -1,0 +1,260 @@
+"""Unit tests for track stitching and trajectory queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalMultiAgentSampler, MASTConfig
+from repro.models import GroundTruthDetector
+from repro.query import SectorPredicate, SpatialPredicate
+from repro.simulation import semantickitti_like
+from repro.tracking import (
+    StitchConfig,
+    Track,
+    TrackObservation,
+    co_traveling_pairs,
+    stitch_tracks,
+    track_summary,
+    tracks_within,
+)
+
+
+def make_track(points, *, label="Car", track_id=0, dt=1.0):
+    """A track from a list of xy points, one per second."""
+    observations = [
+        TrackObservation(
+            frame_id=i, timestamp=i * dt, position=np.asarray(p, float), score=0.9
+        )
+        for i, p in enumerate(points)
+    ]
+    return Track(track_id=track_id, label=label, observations=observations)
+
+
+@pytest.fixture(scope="module")
+def stitched():
+    """Tracks over a noiseless detector so identity can be validated."""
+    sequence = semantickitti_like(0, n_frames=400, with_points=False)
+    sampler = HierarchicalMultiAgentSampler(MASTConfig(seed=2, budget_fraction=0.2))
+    result = sampler.sample(sequence, GroundTruthDetector())
+    return sequence, result, stitch_tracks(result)
+
+
+class TestTrack:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="observation"):
+            Track(track_id=0, label="Car", observations=[])
+
+    def test_ordering_enforced(self):
+        obs = [
+            TrackObservation(5, 0.5, np.zeros(2), 0.9),
+            TrackObservation(3, 0.3, np.zeros(2), 0.9),
+        ]
+        with pytest.raises(ValueError, match="ordered"):
+            Track(track_id=0, label="Car", observations=obs)
+
+    def test_duration_and_span(self):
+        track = make_track([[0, 0], [1, 0], [2, 0]])
+        assert track.duration == pytest.approx(2.0)
+        assert track.first_frame == 0
+        assert track.last_frame == 2
+
+    def test_position_interpolation(self):
+        track = make_track([[0, 0], [10, 0]])
+        assert np.allclose(track.position_at(0.5), [5, 0])
+
+    def test_position_clamped_outside_span(self):
+        track = make_track([[0, 0], [10, 0]])
+        assert np.allclose(track.position_at(-1.0), [0, 0])
+        assert np.allclose(track.position_at(5.0), [10, 0])
+
+    def test_positions_at_vectorized(self):
+        track = make_track([[0, 0], [10, 10]])
+        out = track.positions_at(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [[0, 0], [5, 5], [10, 10]])
+
+    def test_distances_at(self):
+        track = make_track([[3, 4], [6, 8]])
+        assert np.allclose(track.distances_at(np.array([0.0, 1.0])), [5, 10])
+
+    def test_mean_speed(self):
+        track = make_track([[0, 0], [10, 0]])
+        assert track.mean_speed() == pytest.approx(10.0)
+
+    def test_mean_speed_single_observation(self):
+        track = make_track([[0, 0]])
+        assert track.mean_speed() == 0.0
+
+    def test_min_distance(self):
+        track = make_track([[3, 4], [30, 40]])
+        assert track.min_distance() == pytest.approx(5.0)
+
+
+class TestStitchConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StitchConfig(max_speed=0)
+        with pytest.raises(ValueError):
+            StitchConfig(confidence=1.5)
+        with pytest.raises(ValueError):
+            StitchConfig(min_observations=0)
+
+
+class TestStitching:
+    def test_produces_tracks(self, stitched):
+        _, _, tracks = stitched
+        assert len(tracks) > 0
+        assert all(len(t) >= 2 for t in tracks)
+
+    def test_tracks_sorted(self, stitched):
+        _, _, tracks = stitched
+        firsts = [t.first_frame for t in tracks]
+        assert firsts == sorted(firsts)
+
+    def test_observations_only_at_sampled_frames(self, stitched):
+        _, result, tracks = stitched
+        sampled = set(int(i) for i in result.sampled_ids)
+        for track in tracks:
+            assert all(obs.frame_id in sampled for obs in track.observations)
+
+    def test_identity_consistency_against_ground_truth(self, stitched):
+        """With a perfect detector, consecutive track observations should
+        mostly snap to the same underlying simulator actor id.
+
+        Pairwise Hungarian association (the paper's Alg. 1 machinery)
+        has no appearance features, so occasional identity swaps when
+        objects cross paths are expected; the *step-level* consistency
+        should still be high.
+        """
+        sequence, _, tracks = stitched
+        consistent_steps = 0
+        total_steps = 0
+        for track in tracks:
+            if len(track) < 3:
+                continue
+            ids = []
+            for obs in track.observations:
+                gt = sequence[obs.frame_id].ground_truth
+                if not len(gt):
+                    ids.append(None)
+                    continue
+                distances = np.linalg.norm(
+                    gt.centers[:, :2] - obs.position, axis=1
+                )
+                ids.append(int(gt.ids[np.argmin(distances)]))
+            for previous, current in zip(ids[:-1], ids[1:]):
+                if previous is None or current is None:
+                    continue
+                total_steps += 1
+                if previous == current:
+                    consistent_steps += 1
+        assert total_steps > 100
+        assert consistent_steps / total_steps > 0.85
+
+    def test_gating_prevents_teleport_matches(self):
+        """A tight speed gate must break implausible long associations:
+        tracks become shorter, never longer."""
+        sequence = semantickitti_like(0, n_frames=200, with_points=False)
+        sampler = HierarchicalMultiAgentSampler(
+            MASTConfig(seed=2, budget_fraction=0.2)
+        )
+        result = sampler.sample(sequence, GroundTruthDetector())
+        loose = stitch_tracks(result, StitchConfig(max_speed=1000.0))
+        tight = stitch_tracks(result, StitchConfig(max_speed=5.0))
+        assert max(len(t) for t in tight) <= max(len(t) for t in loose)
+        mean_len = lambda ts: sum(len(t) for t in ts) / len(ts)
+        assert mean_len(tight) <= mean_len(loose)
+        # Total observations only shrink (gated-away fragments drop out).
+        assert sum(len(t) for t in tight) <= sum(len(t) for t in loose)
+
+    def test_min_observations_filter(self, stitched):
+        _, result, _ = stitched
+        strict = stitch_tracks(result, StitchConfig(min_observations=5))
+        assert all(len(t) >= 5 for t in strict)
+
+    def test_empty_result(self):
+        from repro.core import SamplingResult
+
+        sequence = semantickitti_like(0, n_frames=20, with_points=False)
+        result = SamplingResult(
+            sequence_name="x",
+            n_frames=20,
+            timestamps=sequence.timestamps,
+            budget=0,
+            sampled_ids=np.array([], dtype=np.int64),
+            detections={},
+        )
+        assert stitch_tracks(result) == []
+
+
+class TestTrajectoryQueries:
+    def test_tracks_within_duration(self):
+        staying = make_track([[5, 0]] * 10)            # 9 s within 10 m
+        passing = make_track([[50, 0], [5, 0], [50, 0]], track_id=1)  # brief
+        matches = tracks_within(
+            [staying, passing], SpatialPredicate("<=", 10.0), min_duration=5.0
+        )
+        assert [m.track_ids for m in matches] == [(0,)]
+        assert matches[0].duration >= 5.0
+
+    def test_tracks_within_contiguity(self):
+        """Two short visits must not add up to one long one."""
+        bouncing = make_track(
+            [[5, 0], [5, 0], [50, 0], [50, 0], [5, 0], [5, 0]]
+        )
+        matches = tracks_within(
+            [bouncing], SpatialPredicate("<=", 10.0), min_duration=2.0
+        )
+        assert matches == []
+
+    def test_tracks_within_label_filter(self):
+        car = make_track([[5, 0]] * 10, label="Car", track_id=0)
+        pedestrian = make_track([[5, 0]] * 10, label="Pedestrian", track_id=1)
+        matches = tracks_within(
+            [car, pedestrian],
+            SpatialPredicate("<=", 10.0),
+            min_duration=5.0,
+            label="Pedestrian",
+        )
+        assert [m.track_ids for m in matches] == [(1,)]
+
+    def test_tracks_within_sector_filter(self):
+        ahead = make_track([[10, 0]] * 8, track_id=0)
+        behind = make_track([[-10, 0]] * 8, track_id=1)
+        matches = tracks_within(
+            [ahead, behind], SectorPredicate(-45, 45), min_duration=3.0
+        )
+        assert [m.track_ids for m in matches] == [(0,)]
+
+    def test_co_traveling_pairs(self):
+        a = make_track([[10 + t, 0] for t in range(10)], track_id=0)
+        b = make_track([[12 + t, 1] for t in range(10)], track_id=1)  # 2.2 m away
+        c = make_track([[-40, 20]] * 10, track_id=2)
+        matches = co_traveling_pairs([a, b, c], max_gap=5.0, min_duration=5.0)
+        assert [set(m.track_ids) for m in matches] == [{0, 1}]
+
+    def test_co_traveling_requires_overlap(self):
+        early = make_track([[0, 0], [1, 0]], track_id=0)
+        late = Track(
+            track_id=1,
+            label="Car",
+            observations=[
+                TrackObservation(50, 50.0, np.array([0.0, 0.0]), 0.9),
+                TrackObservation(60, 60.0, np.array([1.0, 0.0]), 0.9),
+            ],
+        )
+        assert co_traveling_pairs([early, late], max_gap=5.0, min_duration=1.0) == []
+
+    def test_track_summary(self):
+        tracks = [
+            make_track([[5, 0], [6, 0]], label="Car", track_id=0),
+            make_track([[9, 0], [9, 1]], label="Car", track_id=1),
+            make_track([[3, 0], [3, 1]], label="Pedestrian", track_id=2),
+        ]
+        summary = track_summary(tracks)
+        assert summary["Car"]["count"] == 2.0
+        assert summary["Pedestrian"]["min_distance"] == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tracks_within([], SpatialPredicate("<=", 1.0), min_duration=0.0)
+        with pytest.raises(ValueError):
+            co_traveling_pairs([], max_gap=0.0, min_duration=1.0)

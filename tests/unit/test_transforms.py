@@ -1,0 +1,97 @@
+"""Unit tests for Pose2D and angle utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Pose2D, rotation_matrix_2d, wrap_angle
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert wrap_angle(0.5) == pytest.approx(0.5)
+
+    def test_wraps_above_pi(self):
+        assert wrap_angle(math.pi + 0.1) == pytest.approx(-math.pi + 0.1)
+
+    def test_pi_maps_to_pi(self):
+        assert wrap_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_negative_pi_maps_to_pi(self):
+        assert wrap_angle(-math.pi) == pytest.approx(math.pi)
+
+    def test_large_multiple(self):
+        assert wrap_angle(7 * math.pi + 0.2) == pytest.approx(-math.pi + 0.2)
+
+
+class TestRotationMatrix:
+    def test_zero_is_identity(self):
+        assert np.allclose(rotation_matrix_2d(0.0), np.eye(2))
+
+    def test_quarter_turn(self):
+        rot = rotation_matrix_2d(math.pi / 2)
+        assert np.allclose(rot @ np.array([1.0, 0.0]), [0.0, 1.0], atol=1e-12)
+
+    def test_orthonormal(self):
+        rot = rotation_matrix_2d(1.234)
+        assert np.allclose(rot @ rot.T, np.eye(2), atol=1e-12)
+        assert np.linalg.det(rot) == pytest.approx(1.0)
+
+
+class TestPose2D:
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Pose2D(float("nan"), 0.0, 0.0)
+
+    def test_world_to_sensor_translation_only(self):
+        pose = Pose2D(10.0, 5.0, 0.0)
+        assert np.allclose(pose.world_to_sensor([12.0, 6.0]), [2.0, 1.0])
+
+    def test_world_to_sensor_with_rotation(self):
+        pose = Pose2D(0.0, 0.0, math.pi / 2)
+        # A point ahead of the ego (world +y) maps to sensor +x.
+        assert np.allclose(pose.world_to_sensor([0.0, 3.0]), [3.0, 0.0], atol=1e-12)
+
+    def test_roundtrip_single_point(self):
+        pose = Pose2D(3.0, -2.0, 0.777)
+        point = np.array([5.1, 7.2, 1.3])
+        back = pose.sensor_to_world(pose.world_to_sensor(point))
+        assert np.allclose(back, point)
+
+    def test_roundtrip_batch(self):
+        pose = Pose2D(-1.0, 4.0, -2.1)
+        points = np.random.default_rng(0).normal(size=(17, 3))
+        back = pose.sensor_to_world(pose.world_to_sensor(points))
+        assert np.allclose(back, points)
+
+    def test_z_passthrough(self):
+        pose = Pose2D(1.0, 2.0, 1.0)
+        out = pose.world_to_sensor([3.0, 4.0, 9.9])
+        assert out[2] == pytest.approx(9.9)
+
+    def test_2d_points_stay_2d(self):
+        pose = Pose2D(0.0, 0.0, 0.4)
+        out = pose.world_to_sensor(np.zeros((5, 2)))
+        assert out.shape == (5, 2)
+
+    def test_rejects_bad_shapes(self):
+        pose = Pose2D(0.0, 0.0, 0.0)
+        with pytest.raises(ValueError, match="shape"):
+            pose.world_to_sensor(np.zeros((3, 4)))
+
+    def test_heading_in_sensor(self):
+        pose = Pose2D(0.0, 0.0, math.pi / 2)
+        assert pose.heading_in_sensor(math.pi) == pytest.approx(math.pi / 2)
+
+    def test_advance_straight(self):
+        pose = Pose2D(0.0, 0.0, 0.0).advance(speed=2.0, yaw_rate=0.0, dt=0.5)
+        assert pose.x == pytest.approx(1.0)
+        assert pose.y == pytest.approx(0.0)
+
+    def test_advance_turning_changes_heading(self):
+        pose = Pose2D(0.0, 0.0, 0.0).advance(speed=0.0, yaw_rate=1.0, dt=0.25)
+        assert pose.yaw == pytest.approx(0.25)
+
+    def test_position_array(self):
+        assert np.allclose(Pose2D(1.5, -2.5, 0.0).position, [1.5, -2.5])

@@ -1,0 +1,136 @@
+"""Unit tests for rng, validation and timing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    derive_rng,
+    ensure_rng,
+    require,
+    require_fraction,
+    require_in,
+    require_non_negative,
+    require_positive,
+    spawn_seeds,
+)
+from repro.utils.timing import STAGE_MODEL, STAGE_QUERY, CostLedger
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        a = derive_rng(7, "lidar", 3).random(5)
+        b = derive_rng(7, "lidar", 3).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_keys_differ(self):
+        a = derive_rng(7, "lidar", 3).random(5)
+        b = derive_rng(7, "lidar", 4).random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(2, "x").random(5)
+        assert not np.allclose(a, b)
+
+
+class TestEnsureRng:
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_int_seed(self):
+        assert np.allclose(ensure_rng(5).random(3), ensure_rng(5).random(3))
+
+    def test_none_defaults(self):
+        assert np.allclose(ensure_rng(None).random(3), ensure_rng(None).random(3))
+
+    def test_key_derivation(self):
+        a = ensure_rng(5, "a").random(3)
+        b = ensure_rng(5, "b").random(3)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_deterministic(self):
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 4)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_custom_exception(self):
+        with pytest.raises(KeyError):
+            require(False, "boom", exc=KeyError)
+
+    def test_require_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError, match="x"):
+            require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+    def test_require_fraction_open(self):
+        assert require_fraction(0.5, "x") == 0.5
+        with pytest.raises(ValueError):
+            require_fraction(0.0, "x")
+        with pytest.raises(ValueError):
+            require_fraction(1.0, "x")
+
+    def test_require_fraction_inclusive(self):
+        assert require_fraction(0.0, "x", inclusive=True) == 0.0
+        assert require_fraction(1.0, "x", inclusive=True) == 1.0
+
+    def test_require_in(self):
+        assert require_in("a", ("a", "b"), "x") == "a"
+        with pytest.raises(ValueError):
+            require_in("c", ("a", "b"), "x")
+
+
+class TestCostLedger:
+    def test_charge_accumulates(self):
+        ledger = CostLedger()
+        ledger.charge(STAGE_MODEL, 0.1)
+        ledger.charge(STAGE_MODEL, 0.1)
+        assert ledger.total(STAGE_MODEL) == pytest.approx(0.2)
+        assert ledger.counts[STAGE_MODEL] == 2
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge(STAGE_MODEL, -1.0)
+
+    def test_measure_records_wall_time(self):
+        ledger = CostLedger()
+        with ledger.measure(STAGE_QUERY):
+            pass
+        assert ledger.measured[STAGE_QUERY] >= 0.0
+        assert ledger.counts[STAGE_QUERY] == 1
+
+    def test_merge(self):
+        a = CostLedger()
+        a.charge(STAGE_MODEL, 1.0)
+        b = CostLedger()
+        b.charge(STAGE_MODEL, 2.0)
+        b.charge(STAGE_QUERY, 0.5)
+        a.merge(b)
+        assert a.total(STAGE_MODEL) == pytest.approx(3.0)
+        assert a.total(STAGE_QUERY) == pytest.approx(0.5)
+
+    def test_grand_total_and_summary(self):
+        ledger = CostLedger()
+        ledger.charge(STAGE_MODEL, 1.5)
+        ledger.charge(STAGE_QUERY, 0.5)
+        assert ledger.grand_total == pytest.approx(2.0)
+        assert ledger.summary() == {STAGE_MODEL: 1.5, STAGE_QUERY: 0.5}

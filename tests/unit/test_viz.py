@@ -1,0 +1,126 @@
+"""Unit tests for terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import ObjectArray
+from repro.viz import render_bev, render_tracks, sparkline, strip_chart, text_histogram
+
+
+def scene():
+    return ObjectArray(
+        labels=np.array(["Car", "Pedestrian", "Truck"]),
+        centers=np.array([[10.0, 0.0, 0.0], [0.0, 10.0, 0.0], [-10.0, 0.0, 0.0]]),
+        sizes=np.ones((3, 3)),
+        yaws=np.zeros(3),
+        scores=np.array([0.9, 0.3, 0.9]),
+    )
+
+
+class TestRenderBev:
+    def test_contains_markers(self):
+        art = render_bev(scene())
+        assert "C" in art  # confident car
+        assert "p" in art  # low-confidence pedestrian -> lowercase
+        assert "T" in art
+        assert "^" in art  # sensor
+
+    def test_forward_object_above_sensor(self):
+        art = render_bev(scene(), width=21, height=21, extent=20.0)
+        lines = [l for l in art.splitlines() if l.startswith("|")]
+        car_row = next(i for i, l in enumerate(lines) if "C" in l)
+        sensor_row = next(i for i, l in enumerate(lines) if "^" in l)
+        assert car_row < sensor_row  # +x (forward) renders above center
+
+    def test_out_of_extent_objects_dropped(self):
+        far = ObjectArray(
+            labels=np.array(["Car"]),
+            centers=np.array([[500.0, 0.0, 0.0]]),
+            sizes=np.ones((1, 3)),
+            yaws=np.zeros(1),
+            scores=np.ones(1),
+        )
+        art = render_bev(far, extent=40.0)
+        body = "\n".join(l for l in art.splitlines() if l.startswith("|"))
+        assert "C" not in body
+
+    def test_empty_scene(self):
+        art = render_bev(ObjectArray.empty())
+        assert "^" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_bev(scene(), extent=0.0)
+        with pytest.raises(ValueError):
+            render_bev(scene(), width=3)
+
+
+class TestRenderTracks:
+    def test_digits_drawn(self):
+        from repro.tracking import Track, TrackObservation
+
+        track = Track(
+            track_id=7,
+            label="Car",
+            observations=[
+                TrackObservation(0, 0.0, np.array([10.0, 0.0]), 0.9),
+                TrackObservation(1, 0.1, np.array([12.0, 0.0]), 0.9),
+            ],
+        )
+        art = render_tracks([track])
+        assert "7" in art
+        assert "^" in art
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_levels(self):
+        line = sparkline([0, 1, 2, 3], ascii_only=True)
+        levels = " .:-=+*#%@"
+        indices = [levels.index(c) for c in line]
+        assert indices == sorted(indices)
+
+    def test_constant_series(self):
+        assert len(sparkline([5, 5, 5])) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestStripChart:
+    def test_two_lines_with_marks(self):
+        y = np.sin(np.linspace(0, 6, 500))
+        out = strip_chart(y, mark_positions=[0, 250, 499], width=50)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("^") == 3
+
+    def test_single_line_without_marks(self):
+        y = np.arange(100.0)
+        assert len(strip_chart(y, width=20).splitlines()) == 1
+
+    def test_width_clamped_to_series(self):
+        out = strip_chart(np.arange(5.0), width=100)
+        assert len(out.splitlines()[0]) <= len("y(t): ") + 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strip_chart([1.0])
+
+
+class TestTextHistogram:
+    def test_counts_displayed(self):
+        out = text_histogram([1, 1, 1, 5, 9], bins=2)
+        assert "3" in out
+        assert "#" in out
+
+    def test_bin_count(self):
+        out = text_histogram(np.arange(100.0), bins=5)
+        assert len(out.splitlines()) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            text_histogram([])

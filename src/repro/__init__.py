@@ -23,6 +23,7 @@ Quickstart::
 from repro.core import MASTConfig, MASTIndex, MASTPipeline, SamplingResult
 from repro.data import FrameSequence, ObjectArray, PointCloudDatabase, PointCloudFrame
 from repro.query import AggregateQuery, QueryEngine, RetrievalQuery, parse_query
+from repro.serving import QueryService
 
 __version__ = "1.0.0"
 
@@ -36,6 +37,7 @@ __all__ = [
     "PointCloudDatabase",
     "PointCloudFrame",
     "QueryEngine",
+    "QueryService",
     "RetrievalQuery",
     "SamplingResult",
     "__version__",

@@ -10,7 +10,10 @@ Four subcommands cover the operational lifecycle:
 * ``repro experiment`` — run the paper's method comparison on one
   sequence and print the result tables;
 * ``repro tracks``   — stitch object tracks from a checkpoint and print
-  per-label summaries plus persistent close-proximity tracks.
+  per-label summaries plus persistent close-proximity tracks;
+* ``repro serve-workload`` — answer a whole workload through the
+  batched, caching :class:`~repro.serving.QueryService` and report
+  cache statistics.
 
 Every command is pure-offline and deterministic given its ``--seed``.
 """
@@ -96,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--model", choices=available_models(), default="pv_rcnn")
     experiment.add_argument("--seed", type=int, default=1)
 
+    serve = sub.add_parser(
+        "serve-workload",
+        help="serve a query workload through the batched caching service",
+    )
+    serve.add_argument("--dataset", choices=_DATASETS, default="semantickitti")
+    serve.add_argument("--sequence-index", type=int, default=0)
+    serve.add_argument("--frames", type=int, default=600)
+    serve.add_argument("--budget", type=float, default=0.10)
+    serve.add_argument("--model", choices=available_models(), default="pv_rcnn")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--queries", type=int, default=50,
+                       help="generated workload size (ignored with --workload)")
+    serve.add_argument("--workload", default=None,
+                       help="file with one query per line ('#' comments allowed)")
+    serve.add_argument("--repeat", type=int, default=2,
+                       help="times to replay the batch (>= 2 shows cache hits)")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="worker threads for batch evaluation")
+    serve.add_argument("--show", type=int, default=5,
+                       help="print the first N answers (0 for none)")
+
     return parser
 
 
@@ -141,16 +165,7 @@ def _cmd_query(args, out) -> int:
             print(f"error: {error}", file=out)
             status = 2
             continue
-        if isinstance(answer, RetrievalResult):
-            ids = ", ".join(str(i) for i in answer.frame_ids[:20])
-            suffix = " ..." if answer.cardinality > 20 else ""
-            print(
-                f"{text}\n  -> {answer.cardinality} frames "
-                f"({100 * answer.selectivity:.2f} %): [{ids}{suffix}]",
-                file=out,
-            )
-        elif isinstance(answer, AggregateResult):
-            print(f"{text}\n  -> {answer.value:.4f}", file=out)
+        _format_answer(text, answer, out)
     return status
 
 
@@ -252,12 +267,91 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _format_answer(text: str, answer, out) -> None:
+    if isinstance(answer, RetrievalResult):
+        ids = ", ".join(str(i) for i in answer.frame_ids[:20])
+        suffix = " ..." if answer.cardinality > 20 else ""
+        print(
+            f"{text}\n  -> {answer.cardinality} frames "
+            f"({100 * answer.selectivity:.2f} %): [{ids}{suffix}]",
+            file=out,
+        )
+    elif isinstance(answer, AggregateResult):
+        print(f"{text}\n  -> {answer.value:.4f}", file=out)
+
+
+def _cmd_serve_workload(args, out) -> int:
+    from time import perf_counter
+
+    from repro.core import MASTPipeline
+    from repro.query import generate_workload, parse_query
+    from repro.serving import QueryService
+
+    sequence = build_sequence(
+        dataset_spec(args.dataset),
+        args.sequence_index,
+        n_frames=args.frames,
+        with_points=False,
+    )
+    model = make_model(args.model, seed=5)
+    pipeline = MASTPipeline(
+        MASTConfig(seed=args.seed, budget_fraction=args.budget)
+    ).fit(sequence, model)
+
+    if args.workload is not None:
+        try:
+            with open(args.workload, encoding="utf-8") as handle:
+                lines = [line.strip() for line in handle]
+        except OSError as error:
+            print(f"error: {error}", file=out)
+            return 2
+        texts = [line for line in lines if line and not line.startswith("#")]
+        try:
+            queries = [parse_query(text) for text in texts]
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            return 2
+    else:
+        queries = list(generate_workload(rng=args.seed).all_queries())
+        queries = queries[: args.queries]
+    if not queries:
+        print("error: empty workload", file=out)
+        return 2
+
+    service = QueryService(pipeline, max_workers=max(1, args.threads))
+    start = perf_counter()
+    results = []
+    for _ in range(max(1, args.repeat)):
+        results = service.execute_batch(queries)
+    elapsed = perf_counter() - start
+
+    n_retrieval = sum(isinstance(r, RetrievalResult) for r in results)
+    print(
+        f"served {max(1, args.repeat)} x {len(queries)} queries over "
+        f"{len(sequence)} frames in {elapsed:.3f}s "
+        f"({n_retrieval} retrieval / {len(results) - n_retrieval} aggregate "
+        "per batch)",
+        file=out,
+    )
+    print(f"cache: {service.cache_stats().describe()}", file=out)
+    for stage, counters in pipeline.ledger.cache_summary().items():
+        print(
+            f"ledger[{stage}]: {counters['hits']} hits / "
+            f"{counters['misses']} misses",
+            file=out,
+        )
+    for query, answer in list(zip(queries, results))[: max(0, args.show)]:
+        _format_answer(query.describe(), answer, out)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "fit": _cmd_fit,
     "query": _cmd_query,
     "tracks": _cmd_tracks,
     "experiment": _cmd_experiment,
+    "serve-workload": _cmd_serve_workload,
 }
 
 

@@ -188,6 +188,83 @@ class MASTIndex:
         self._count_cache[object_filter] = counts
         return counts
 
+    def count_series_many(
+        self, filters
+    ) -> dict[ObjectFilter, np.ndarray]:
+        """Count series for several filters, sharing predicate work.
+
+        Confidence-cut and label masks are computed once per distinct
+        threshold/label, and the sensor distance of every indexed object
+        once for all :class:`~repro.query.predicates.SpatialPredicate`
+        filters — the dominant cost when a workload grid repeats the
+        same label over many distance cuts.  Answers are bit-identical
+        to per-filter :meth:`count_series` calls.
+        """
+        from repro.query.predicates import SpatialPredicate
+
+        filters = list(dict.fromkeys(filters))
+        missing = [f for f in filters if f not in self._count_cache]
+        if missing:
+            conf_masks: dict[float, np.ndarray] = {}
+            label_masks: dict[str, np.ndarray] = {}
+            distances: np.ndarray | None = None
+            for object_filter in missing:
+                mask = conf_masks.get(object_filter.confidence)
+                if mask is None:
+                    mask = self._scores >= object_filter.confidence
+                    conf_masks[object_filter.confidence] = mask
+                mask = mask.copy()
+                if object_filter.label is not None:
+                    label_mask = label_masks.get(object_filter.label)
+                    if label_mask is None:
+                        label_mask = self._labels == object_filter.label
+                        label_masks[object_filter.label] = label_mask
+                    mask &= label_mask
+                spatial = object_filter.spatial
+                if isinstance(spatial, SpatialPredicate):
+                    if distances is None:
+                        distances = np.hypot(
+                            self._positions[:, 0], self._positions[:, 1]
+                        )
+                    mask &= spatial.mask(distances)
+                elif spatial is not None:
+                    mask &= spatial.mask_positions(self._positions)
+                self._count_cache[object_filter] = np.bincount(
+                    self._frame_index[mask], minlength=self.n_frames
+                ).astype(float)
+        return {f: self._count_cache[f] for f in filters}
+
+    def count_series_tail(self, object_filter: ObjectFilter, start: int) -> np.ndarray:
+        """Counts for frames ``[start, n_frames)`` only.
+
+        Applies the filter to just the indexed rows of the tail region,
+        so recomputing the frames invalidated by an :meth:`extend` costs
+        O(tail rows) instead of O(all rows).  Bit-identical to
+        ``count_series(object_filter)[start:]``.
+        """
+        start = int(start)
+        if start <= 0:
+            return self.count_series(object_filter)
+        selector = self._frame_index >= start
+        scores = self._scores[selector]
+        mask = scores >= object_filter.confidence
+        if object_filter.label is not None:
+            mask &= self._labels[selector] == object_filter.label
+        if object_filter.spatial is not None:
+            mask &= object_filter.spatial.mask_positions(self._positions[selector])
+        return np.bincount(
+            self._frame_index[selector][mask] - start,
+            minlength=self.n_frames - start,
+        ).astype(float)
+
+    def cached_filters(self) -> tuple[ObjectFilter, ...]:
+        """Object filters whose count series are currently memoized."""
+        return tuple(self._count_cache)
+
+    def clear_count_cache(self) -> None:
+        """Drop all memoized count series (benchmark cold-start helper)."""
+        self._count_cache.clear()
+
     def objects_at(self, frame_id: int) -> ObjectArray:
         """The indexed object set of one frame (real or ST-predicted)."""
         if not 0 <= frame_id < self.n_frames:
@@ -219,6 +296,8 @@ class STCountProvider:
     """Count provider backed by the ST-prediction index (Eq. 3/4)."""
 
     simulated_query_cost_per_frame = SIMULATED_QUERY_COST_ST
+    #: Provider kind used as the cache-key namespace by the serving layer.
+    kind = "st"
 
     def __init__(self, index: MASTIndex) -> None:
         self.index = index
@@ -226,6 +305,18 @@ class STCountProvider:
 
     def count_series(self, object_filter: ObjectFilter) -> np.ndarray:
         return self.index.count_series(object_filter)
+
+    def count_series_many(self, filters) -> dict[ObjectFilter, np.ndarray]:
+        return self.index.count_series_many(filters)
+
+    def count_series_tail(self, object_filter: ObjectFilter, start: int) -> np.ndarray:
+        return self.index.count_series_tail(object_filter, start)
+
+    def cached_filters(self) -> tuple[ObjectFilter, ...]:
+        return self.index.cached_filters()
+
+    def clear_count_cache(self) -> None:
+        self.index.clear_count_cache()
 
 
 @dataclass
@@ -248,12 +339,17 @@ class LinearCountProvider:
         self.n_frames = self.result.n_frames
         self._sample_times = self.result.timestamps[self.result.sampled_ids]
 
+    @property
+    def kind(self) -> str:
+        """Provider kind used as the cache-key namespace by the serving layer."""
+        return "linear_floor" if self.quantize else "linear"
+
     def quantized(self) -> LinearCountProvider:
         """A flooring view sharing this provider's sampled-count cache."""
         view = LinearCountProvider(self.result, quantize=True, _cache=self._cache)
         return view
 
-    def count_series(self, object_filter: ObjectFilter) -> np.ndarray:
+    def _sampled_counts(self, object_filter: ObjectFilter) -> np.ndarray:
         sampled_counts = self._cache.get(object_filter)
         if sampled_counts is None:
             sampled_counts = np.array(
@@ -264,9 +360,106 @@ class LinearCountProvider:
                 dtype=float,
             )
             self._cache[object_filter] = sampled_counts
+        return sampled_counts
+
+    def count_series(self, object_filter: ObjectFilter) -> np.ndarray:
         series = np.interp(
-            self.result.timestamps, self._sample_times, sampled_counts
+            self.result.timestamps,
+            self._sample_times,
+            self._sampled_counts(object_filter),
         )
         if self.quantize:
             series = np.floor(series)
         return series
+
+    def count_series_many(self, filters) -> dict[ObjectFilter, np.ndarray]:
+        """Count series for several filters in one pass over sampled frames.
+
+        Confidence and label masks are shared across filters within each
+        sampled frame, and every object's sensor distance is computed
+        once per frame for all distance predicates.  Bit-identical to
+        per-filter :meth:`count_series` calls.
+        """
+        from repro.query.predicates import SpatialPredicate
+
+        filters = list(dict.fromkeys(filters))
+        missing = [f for f in filters if f not in self._cache]
+        if missing:
+            sampled_ids = self.result.sampled_ids
+            rows = np.zeros((len(missing), len(sampled_ids)))
+            for column, frame_id in enumerate(sampled_ids):
+                objects = self.result.detections[int(frame_id)]
+                positions = objects.centers[:, :2]
+                conf_masks: dict[float, np.ndarray] = {}
+                label_masks: dict[str, np.ndarray] = {}
+                distances: np.ndarray | None = None
+                for row, object_filter in enumerate(missing):
+                    mask = conf_masks.get(object_filter.confidence)
+                    if mask is None:
+                        mask = objects.scores >= object_filter.confidence
+                        conf_masks[object_filter.confidence] = mask
+                    mask = mask.copy()
+                    if object_filter.label is not None:
+                        label_mask = label_masks.get(object_filter.label)
+                        if label_mask is None:
+                            label_mask = objects.labels == object_filter.label
+                            label_masks[object_filter.label] = label_mask
+                        mask &= label_mask
+                    spatial = object_filter.spatial
+                    if isinstance(spatial, SpatialPredicate):
+                        if distances is None:
+                            distances = np.hypot(positions[:, 0], positions[:, 1])
+                        mask &= spatial.mask(distances)
+                    elif spatial is not None:
+                        mask &= spatial.mask_positions(positions)
+                    rows[row, column] = int(mask.sum())
+            for row, object_filter in enumerate(missing):
+                self._cache[object_filter] = rows[row].copy()
+        return {f: self.count_series(f) for f in filters}
+
+    def count_series_tail(self, object_filter: ObjectFilter, start: int) -> np.ndarray:
+        """Counts for frames ``[start, n_frames)`` only.
+
+        Interpolates just the tail timestamps; combined with
+        :meth:`prime`-seeded sampled counts this makes post-``extend``
+        recomputation proportional to the extension, not the sequence.
+        Bit-identical to ``count_series(object_filter)[start:]``.
+        """
+        start = int(start)
+        if start <= 0:
+            return self.count_series(object_filter)
+        series = np.interp(
+            self.result.timestamps[start:],
+            self._sample_times,
+            self._sampled_counts(object_filter),
+        )
+        if self.quantize:
+            series = np.floor(series)
+        return series
+
+    def cached_filters(self) -> tuple[ObjectFilter, ...]:
+        """Object filters whose sampled counts are currently memoized."""
+        return tuple(self._cache)
+
+    def cached_sampled_counts(self) -> dict[ObjectFilter, np.ndarray]:
+        """Copies of the memoized per-sampled-frame counts, by filter."""
+        return {f: counts.copy() for f, counts in self._cache.items()}
+
+    def prime(self, object_filter: ObjectFilter, sampled_counts) -> None:
+        """Seed the sampled-count cache for one filter.
+
+        Used by the serving layer after :meth:`MASTPipeline.extend` to
+        carry forward counts of still-valid sampled frames instead of
+        re-counting every detection set from scratch.
+        """
+        sampled_counts = np.asarray(sampled_counts, dtype=float)
+        if sampled_counts.shape != self.result.sampled_ids.shape:
+            raise ValueError(
+                f"expected {self.result.sampled_ids.shape[0]} sampled counts, "
+                f"got {sampled_counts.shape}"
+            )
+        self._cache[object_filter] = sampled_counts
+
+    def clear_count_cache(self) -> None:
+        """Drop all memoized sampled counts (benchmark cold-start helper)."""
+        self._cache.clear()

@@ -40,7 +40,27 @@ from repro.query.parser import parse_query
 from repro.utils.timing import CostLedger
 from repro.utils.validation import require
 
-__all__ = ["MASTPipeline"]
+__all__ = ["MASTPipeline", "predictor_kind"]
+
+
+def predictor_kind(config: MASTConfig, query) -> str:
+    """The provider kind (§7.1 assignment) answering ``query``.
+
+    Returns ``"st"`` (motion-predicted index), ``"linear"`` (continuous
+    interpolation, used for aggregates), or ``"linear_floor"`` (floored
+    interpolation, used for retrieval when ``retrieval_predictor`` is
+    linear).  Shared by the pipeline's engine routing and the serving
+    layer's cache keying so both answer through the same provider.
+    """
+    if isinstance(query, (RetrievalQuery, CompoundRetrievalQuery)):
+        if config.retrieval_predictor == "linear":
+            return "linear_floor"
+        return "st"
+    if isinstance(query, AggregateQuery):
+        if config.predictor_by_operator.get(query.operator, "st") == "linear":
+            return "linear"
+        return "st"
+    raise TypeError(f"unsupported query type {type(query).__name__}")
 
 
 class MASTPipeline:
@@ -53,9 +73,15 @@ class MASTPipeline:
         self._model: DetectionModel | None = None
         self._sampling: SamplingResult | None = None
         self._index: MASTIndex | None = None
+        self._providers: dict[str, object] = {}
         self._st_engine: QueryEngine | None = None
         self._linear_engine: QueryEngine | None = None
         self._linear_retrieval_engine: QueryEngine | None = None
+        #: Highest frame id whose count series were provably unchanged by
+        #: the most recent :meth:`extend` (-1 when nothing was reusable;
+        #: ``None`` before any extension).  Serving caches keep the
+        #: series prefix ``[0, boundary]`` and recompute only the tail.
+        self.last_extend_boundary: int | None = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -86,6 +112,14 @@ class MASTPipeline:
         extended = self._sequence.extended(new_frames)
 
         old_n = self._sampling.n_frames
+        # Counts at frame t depend only on detections at the sampled
+        # frames bracketing t.  The tail run re-detects frame old_n - 1
+        # onward, so every series prefix up to the last old sample below
+        # that is provably unchanged by this extension.
+        prefix_ids = self._sampling.sampled_ids[
+            self._sampling.sampled_ids < old_n - 1
+        ]
+        self.last_extend_boundary = int(prefix_ids.max()) if len(prefix_ids) else -1
         sub_config = self.config.with_overrides()
         sampler = HierarchicalMultiAgentSampler(sub_config)
         # Sample the new region as its own (shifted) sub-problem.
@@ -133,11 +167,22 @@ class MASTPipeline:
         self._index = MASTIndex.build(self._sampling, self.config, ledger=self.ledger)
         st_provider = STCountProvider(self._index)
         linear_provider = LinearCountProvider(self._sampling)
+        self._providers = {
+            "st": st_provider,
+            "linear": linear_provider,
+            "linear_floor": linear_provider.quantized(),
+        }
         self._st_engine = QueryEngine(st_provider, ledger=self.ledger)
         self._linear_engine = QueryEngine(linear_provider, ledger=self.ledger)
         self._linear_retrieval_engine = QueryEngine(
-            linear_provider.quantized(), ledger=self.ledger
+            self._providers["linear_floor"], ledger=self.ledger
         )
+
+    @property
+    def providers(self) -> dict[str, object]:
+        """Provider kind -> count provider for the current index."""
+        require(self._index is not None, "fit() has not been called")
+        return dict(self._providers)
 
     # ------------------------------------------------------------------
     # Querying
@@ -183,19 +228,13 @@ class MASTPipeline:
 
     def _engine_for(self, query) -> QueryEngine:
         assert self._st_engine is not None
-        if isinstance(query, (RetrievalQuery, CompoundRetrievalQuery)):
-            predictor = self.config.retrieval_predictor
-            if predictor == "linear":
-                assert self._linear_retrieval_engine is not None
-                return self._linear_retrieval_engine
-            return self._st_engine
-        if isinstance(query, AggregateQuery):
-            predictor = self.config.predictor_by_operator.get(query.operator, "st")
-            if predictor == "linear":
-                assert self._linear_engine is not None
-                return self._linear_engine
-            return self._st_engine
-        raise TypeError(f"unsupported query type {type(query).__name__}")
+        assert self._linear_engine is not None
+        assert self._linear_retrieval_engine is not None
+        return {
+            "st": self._st_engine,
+            "linear": self._linear_engine,
+            "linear_floor": self._linear_retrieval_engine,
+        }[predictor_kind(self.config, query)]
 
     # ------------------------------------------------------------------
     # Calibration
@@ -251,9 +290,7 @@ class MASTPipeline:
             object_filters = [c.object_filter for c in query.leaf_conditions()]
         else:
             object_filters = [query.object_filter]
-        cache = getattr(provider, "_cache", None)
-        if cache is None and hasattr(provider, "index"):
-            cache = provider.index._count_cache
+        cached_filters = set(provider.cached_filters())
         lines = [
             f"query     : {query.describe()}",
             f"kind      : {type(query).__name__}",
@@ -262,7 +299,7 @@ class MASTPipeline:
             f"est. cost : {estimated:.4f} s (simulated)",
         ]
         for object_filter in object_filters:
-            cached = cache is not None and object_filter in cache
+            cached = object_filter in cached_filters
             lines.append(
                 f"filter    : {object_filter.describe()} "
                 f"[count series {'cached' if cached else 'not cached'}]"

@@ -7,11 +7,17 @@ provider computes it from full detections, MAST's providers from the
 index (ST prediction) or from interpolation (linear prediction) — and
 the :class:`QueryEngine` evaluates retrieval and aggregate queries on
 top, charging query-time costs to a ledger.
+
+Evaluation itself is exposed as pure functions (:func:`evaluate_query`,
+:func:`condition_mask`) over a ``resolve(object_filter) -> series``
+callable, so alternative executors — notably the batched
+:class:`repro.serving.QueryService`, which resolves series from a shared
+cache — produce bit-identical answers by construction.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -30,7 +36,54 @@ from repro.query.parser import parse_query
 from repro.query.predicates import ObjectFilter
 from repro.utils.timing import STAGE_QUERY, CostLedger
 
-__all__ = ["CountProvider", "QueryEngine"]
+__all__ = ["CountProvider", "QueryEngine", "condition_mask", "evaluate_query"]
+
+#: Resolves an object filter to its per-frame count series.
+SeriesResolver = Callable[[ObjectFilter], np.ndarray]
+
+
+def condition_mask(condition, resolve: SeriesResolver) -> np.ndarray:
+    """Per-frame boolean mask of a (possibly compound) condition."""
+    if isinstance(condition, Condition):
+        counts = resolve(condition.object_filter)
+        return condition.count_predicate.mask(counts)
+    if isinstance(condition, ConditionAnd):
+        mask = condition_mask(condition.children[0], resolve)
+        for child in condition.children[1:]:
+            mask = mask & condition_mask(child, resolve)
+        return mask
+    if isinstance(condition, ConditionOr):
+        mask = condition_mask(condition.children[0], resolve)
+        for child in condition.children[1:]:
+            mask = mask | condition_mask(child, resolve)
+        return mask
+    raise TypeError(f"unsupported condition type {type(condition).__name__}")
+
+
+def evaluate_query(
+    query, resolve: SeriesResolver, n_frames: int
+) -> RetrievalResult | AggregateResult:
+    """Evaluate a parsed query against ``resolve``'d count series.
+
+    This is the single evaluation path for every executor; it performs
+    no parsing, routing, or cost accounting.
+    """
+    if isinstance(query, RetrievalQuery):
+        counts = resolve(query.object_filter)
+        mask = query.count_predicate.mask(counts)
+        return RetrievalResult(
+            query=query, frame_ids=np.nonzero(mask)[0], n_frames=n_frames
+        )
+    if isinstance(query, CompoundRetrievalQuery):
+        mask = condition_mask(query.condition, resolve)
+        return RetrievalResult(
+            query=query, frame_ids=np.nonzero(mask)[0], n_frames=n_frames
+        )
+    if isinstance(query, AggregateQuery):
+        counts = resolve(query.object_filter)
+        value = aggregate(query.operator, counts, query.count_predicate)
+        return AggregateResult(query=query, value=value, counts=counts)
+    raise TypeError(f"unsupported query type {type(query).__name__}")
 
 
 @runtime_checkable
@@ -68,54 +121,10 @@ class QueryEngine:
                 self.provider.simulated_query_cost_per_frame * self.provider.n_frames,
                 count=0,
             )
-            if isinstance(query, RetrievalQuery):
-                return self._retrieve(query)
-            if isinstance(query, CompoundRetrievalQuery):
-                return self._retrieve_compound(query)
-            if isinstance(query, AggregateQuery):
-                return self._aggregate(query)
-        raise TypeError(f"unsupported query type {type(query).__name__}")
+            return evaluate_query(
+                query, self.provider.count_series, self.provider.n_frames
+            )
 
     def execute_many(self, queries) -> list[RetrievalResult | AggregateResult]:
         """Run a list of queries in order."""
         return [self.execute(q) for q in queries]
-
-    # ------------------------------------------------------------------
-    def _retrieve(self, query: RetrievalQuery) -> RetrievalResult:
-        counts = self.provider.count_series(query.object_filter)
-        mask = query.count_predicate.mask(counts)
-        return RetrievalResult(
-            query=query,
-            frame_ids=np.nonzero(mask)[0],
-            n_frames=self.provider.n_frames,
-        )
-
-    def _retrieve_compound(self, query: CompoundRetrievalQuery) -> RetrievalResult:
-        mask = self._condition_mask(query.condition)
-        return RetrievalResult(
-            query=query,
-            frame_ids=np.nonzero(mask)[0],
-            n_frames=self.provider.n_frames,
-        )
-
-    def _condition_mask(self, condition) -> np.ndarray:
-        """Per-frame boolean mask of a (possibly compound) condition."""
-        if isinstance(condition, Condition):
-            counts = self.provider.count_series(condition.object_filter)
-            return condition.count_predicate.mask(counts)
-        if isinstance(condition, ConditionAnd):
-            mask = self._condition_mask(condition.children[0])
-            for child in condition.children[1:]:
-                mask = mask & self._condition_mask(child)
-            return mask
-        if isinstance(condition, ConditionOr):
-            mask = self._condition_mask(condition.children[0])
-            for child in condition.children[1:]:
-                mask = mask | self._condition_mask(child)
-            return mask
-        raise TypeError(f"unsupported condition type {type(condition).__name__}")
-
-    def _aggregate(self, query: AggregateQuery) -> AggregateResult:
-        counts = self.provider.count_series(query.object_filter)
-        value = aggregate(query.operator, counts, query.count_predicate)
-        return AggregateResult(query=query, value=value, counts=counts)

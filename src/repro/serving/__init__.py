@@ -1,0 +1,22 @@
+"""Serving layer: batched, cached, concurrent query execution.
+
+Fronts a fitted :class:`~repro.core.pipeline.MASTPipeline` with a
+:class:`QueryService` — one shared count-series cache across all
+predictors, batched workload execution over a thread pool, and
+incremental cache invalidation when the sequence is extended.
+"""
+
+from repro.serving.batching import BatchPlan, PlannedQuery, base_kind, plan_batch
+from repro.serving.cache import CacheKey, CacheStats, CountSeriesCache
+from repro.serving.service import QueryService
+
+__all__ = [
+    "BatchPlan",
+    "CacheKey",
+    "CacheStats",
+    "CountSeriesCache",
+    "PlannedQuery",
+    "QueryService",
+    "base_kind",
+    "plan_batch",
+]

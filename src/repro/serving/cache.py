@@ -1,0 +1,229 @@
+"""Shared count-series cache for the serving layer.
+
+One :class:`CountSeriesCache` fronts every provider of a
+:class:`~repro.serving.service.QueryService`.  Entries are keyed by
+``(provider_kind, ObjectFilter)`` — both hashable — and carry a
+*generation* number that advances on every ``extend()`` of the backing
+pipeline.  Invalidation is incremental: instead of dropping entries
+wholesale, :meth:`CountSeriesCache.invalidate_tail` truncates each
+series to the prefix the extension provably left unchanged, so the next
+lookup only recomputes the tail region.
+
+All operations are guarded by one lock and stored arrays are read-only
+copies, so concurrent readers can never observe a torn series and
+:class:`CacheStats` counters are exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.predicates import ObjectFilter
+
+__all__ = ["CacheKey", "CacheStats", "CountSeriesCache"]
+
+#: Cache key: ``(provider_kind, object_filter)``.
+CacheKey = tuple[str, ObjectFilter]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of cache counters.
+
+    ``hits``/``misses``/``partial_hits``/``evictions``/``invalidations``
+    are cumulative (monotone non-decreasing over the cache's lifetime);
+    ``entries`` and ``bytes`` describe the current contents.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    partial_hits: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + partial hits + misses)."""
+        return self.hits + self.partial_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Complete hits per lookup, in [0, 1] (0 when no lookups yet)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "partial_hits": self.partial_hits,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "bytes": self.bytes,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.partial_hits} partial / "
+            f"{self.misses} misses, {self.evictions} evictions, "
+            f"{self.invalidations} invalidations, "
+            f"{self.entries} entries ({self.bytes / 1024:.1f} KiB)"
+        )
+
+
+class _Entry:
+    __slots__ = ("series", "generation", "complete")
+
+    def __init__(self, series: np.ndarray, generation: int, complete: bool) -> None:
+        self.series = series
+        self.generation = generation
+        self.complete = complete
+
+
+class CountSeriesCache:
+    """Bounded LRU cache of per-frame count series, with statistics.
+
+    ``max_entries`` bounds the number of cached series; the least
+    recently used entry is evicted first.  Every stored array is a
+    read-only copy, isolated from provider internals and safe to hand
+    to concurrent readers.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._partial_hits = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(
+        self, key: CacheKey, generation: int
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Return ``(series, prefix)`` for ``key`` at ``generation``.
+
+        Exactly one of three shapes: ``(series, None)`` — complete hit;
+        ``(None, prefix)`` — the entry was truncated by an invalidation
+        and only the prefix is valid; ``(None, None)`` — miss (also
+        returned when the entry belongs to a different generation, so a
+        reader racing an ``extend()`` never sees the other epoch's data).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.generation != generation:
+                self._misses += 1
+                return None, None
+            self._entries.move_to_end(key)
+            if entry.complete:
+                self._hits += 1
+                return entry.series, None
+            self._partial_hits += 1
+            return None, entry.series
+
+    def put(
+        self,
+        key: CacheKey,
+        series: np.ndarray,
+        generation: int,
+        *,
+        complete: bool = True,
+    ) -> None:
+        """Store ``series`` for ``key``; drops writes from stale generations."""
+        stored = np.array(series, dtype=float, copy=True)
+        stored.setflags(write=False)
+        with self._lock:
+            if generation != self._generation:
+                return
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.series.nbytes
+            self._entries[key] = _Entry(stored, generation, complete)
+            self._bytes += stored.nbytes
+            while len(self._entries) > self.max_entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.series.nbytes
+                self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_tail(self, boundary: int, generation: int) -> None:
+        """Advance to ``generation``, keeping series prefixes ``[0, boundary]``.
+
+        Entries become incomplete prefix entries of the new generation
+        (their tail region must be recomputed on next use); with
+        ``boundary < 0`` nothing is reusable and all entries are
+        dropped.  Each touched entry counts as one invalidation.
+        """
+        with self._lock:
+            self._generation = int(generation)
+            if boundary < 0:
+                self._invalidations += len(self._entries)
+                self._entries.clear()
+                self._bytes = 0
+                return
+            keep = boundary + 1
+            for key, entry in list(self._entries.items()):
+                self._invalidations += 1
+                prefix = entry.series[:keep]
+                self._bytes -= entry.series.nbytes - prefix.nbytes
+                self._entries[key] = _Entry(prefix, self._generation, False)
+
+    def clear(self) -> None:
+        """Drop every entry (counted as evictions); generation is kept."""
+        with self._lock:
+            self._evictions += len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[CacheKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of all counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                partial_hits=self._partial_hits,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+                bytes=self._bytes,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CountSeriesCache({self.stats().describe()})"

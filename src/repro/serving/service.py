@@ -1,0 +1,372 @@
+"""Batched, cached query serving on top of :class:`MASTPipeline`.
+
+:class:`QueryService` fronts one fitted pipeline for many concurrent
+clients:
+
+* one shared, bounded :class:`~repro.serving.cache.CountSeriesCache`
+  is reused across the ST, linear, and floored-linear providers (the
+  floored retrieval view is derived from the continuous linear series
+  at evaluation time, so the two predictors share entries);
+* :meth:`execute_batch` parses a workload up front, computes each
+  distinct count series exactly once via the providers' batched
+  ``count_series_many`` kernels, then fans evaluation out over a thread
+  pool (numpy releases the GIL in the vectorized mask / aggregate
+  kernels);
+* :meth:`extend` ingests a new frame batch and invalidates the cache
+  *incrementally* — series keep the prefix the extension provably left
+  unchanged and only tails are recomputed, via the providers'
+  ``count_series_tail``.
+
+Thread-safety contract: ``execute`` / ``execute_many`` /
+``execute_batch`` may be called from any number of threads, including
+concurrently with one ``extend`` (extensions themselves are serialized
+by an internal lock).  Every query evaluates against an immutable state
+snapshot captured at entry, so its answer is consistent with either the
+pre- or post-extension sequence — never a mixture — and results are
+bit-identical to a serial, uncached :class:`QueryEngine` on the same
+snapshot.  Cumulative cache statistics are monotone.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import MASTPipeline, predictor_kind
+from repro.data.frame import PointCloudFrame
+from repro.models.base import DetectionModel
+from repro.query.ast import AggregateResult, RetrievalResult
+from repro.query.engine import evaluate_query
+from repro.query.parser import parse_query
+from repro.query.predicates import ObjectFilter
+from repro.serving.batching import BatchPlan, base_kind, plan_batch
+from repro.serving.cache import CacheStats, CountSeriesCache
+from repro.utils.timing import STAGE_QUERY
+from repro.utils.validation import require
+
+__all__ = ["QueryService"]
+
+
+@dataclass(frozen=True)
+class _ServiceState:
+    """Immutable snapshot of the pipeline's queryable state.
+
+    Queries capture one snapshot at entry and never touch mutable
+    service attributes afterwards, which is what makes answers during a
+    concurrent ``extend`` consistent (old epoch or new epoch, never
+    torn).
+    """
+
+    generation: int
+    n_frames: int
+    providers: dict
+
+    def provider(self, kind: str):
+        return self.providers[kind]
+
+
+class QueryService:
+    """Serve retrieval / aggregate workloads with shared caching."""
+
+    def __init__(
+        self,
+        pipeline: MASTPipeline,
+        *,
+        max_cache_entries: int = 512,
+        max_workers: int = 8,
+    ) -> None:
+        require(
+            pipeline._index is not None,
+            "pipeline must be fit() before serving",
+        )
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._pipeline = pipeline
+        self._max_workers = int(max_workers)
+        self.cache = CountSeriesCache(max_entries=max_cache_entries)
+        self._extend_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        providers = pipeline.providers
+        self._state = _ServiceState(
+            generation=self.cache.generation,
+            n_frames=providers["st"].n_frames,
+            providers=providers,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> MASTPipeline:
+        return self._pipeline
+
+    @property
+    def ledger(self):
+        return self._pipeline.ledger
+
+    @property
+    def n_frames(self) -> int:
+        return self._state.n_frames
+
+    @property
+    def generation(self) -> int:
+        """Extension epoch (starts at 0, +1 per :meth:`extend`)."""
+        return self._state.generation
+
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the shared count-series cache counters."""
+        return self.cache.stats()
+
+    # ------------------------------------------------------------------
+    # Series resolution
+    # ------------------------------------------------------------------
+    def _resolve_base(
+        self, state: _ServiceState, kind: str, object_filter: ObjectFilter
+    ) -> np.ndarray:
+        """The (unfloored) series for ``(kind, filter)`` via the cache."""
+        key = (kind, object_filter)
+        series, prefix = self.cache.lookup(key, state.generation)
+        self.ledger.record_cache(STAGE_QUERY, hit=series is not None)
+        if series is not None:
+            return series
+        provider = state.provider(kind)
+        if prefix is not None and 0 < len(prefix) < state.n_frames:
+            tail = provider.count_series_tail(object_filter, len(prefix))
+            series = np.concatenate([prefix, tail])
+        else:
+            series = provider.count_series(object_filter)
+        self.cache.put(key, series, state.generation)
+        return series
+
+    def _resolve(
+        self, state: _ServiceState, kind: str, object_filter: ObjectFilter
+    ) -> np.ndarray:
+        series = self._resolve_base(state, base_kind(kind), object_filter)
+        if kind == "linear_floor":
+            return np.floor(series)
+        return series
+
+    def _warm_kind(
+        self, state: _ServiceState, kind: str, filters: list[ObjectFilter]
+    ) -> None:
+        """Materialize the distinct series of one provider kind.
+
+        Filters with no usable cache entry are computed in a single
+        batched ``count_series_many`` pass (shared predicate work);
+        truncated entries are completed tail-only.
+        """
+        provider = state.provider(kind)
+        fresh: list[ObjectFilter] = []
+        for object_filter in filters:
+            key = (kind, object_filter)
+            series, prefix = self.cache.lookup(key, state.generation)
+            self.ledger.record_cache(STAGE_QUERY, hit=series is not None)
+            if series is not None:
+                continue
+            if prefix is not None and 0 < len(prefix) < state.n_frames:
+                tail = provider.count_series_tail(object_filter, len(prefix))
+                self.cache.put(
+                    key, np.concatenate([prefix, tail]), state.generation
+                )
+            else:
+                fresh.append(object_filter)
+        if fresh:
+            computed = provider.count_series_many(fresh)
+            for object_filter in fresh:
+                self.cache.put(
+                    (kind, object_filter),
+                    computed[object_filter],
+                    state.generation,
+                )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query) -> RetrievalResult | AggregateResult:
+        """Answer one query (object or query-language text)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        state = self._state
+        return self._execute_on(state, query)
+
+    def execute_many(self, queries) -> list[RetrievalResult | AggregateResult]:
+        """Answer a list of queries serially, in order."""
+        state = self._state
+        return [
+            self._execute_on(state, parse_query(q) if isinstance(q, str) else q)
+            for q in queries
+        ]
+
+    def _execute_on(
+        self, state: _ServiceState, query
+    ) -> RetrievalResult | AggregateResult:
+        kind = predictor_kind(self._pipeline.config, query)
+        provider = state.provider(kind)
+        ledger = self.ledger
+        with ledger.measure(STAGE_QUERY):
+            ledger.charge(
+                STAGE_QUERY,
+                provider.simulated_query_cost_per_frame * state.n_frames,
+                count=0,
+            )
+            return evaluate_query(
+                query,
+                lambda object_filter: self._resolve(state, kind, object_filter),
+                state.n_frames,
+            )
+
+    def execute_batch(
+        self, queries, *, max_workers: int | None = None
+    ) -> list[RetrievalResult | AggregateResult]:
+        """Answer a workload with shared series computation.
+
+        The workload is parsed and routed up front; each distinct
+        ``(provider kind, object filter)`` series is computed once and
+        cached, then per-query evaluation fans out over a thread pool.
+        Results come back in submission order, and every query is
+        charged to the ledger exactly as a serial :meth:`execute` would
+        charge it.
+        """
+        plan = plan_batch(queries, self._pipeline.config)
+        state = self._state
+        return self._run_plan(state, plan, max_workers)
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The service's persistent worker pool (created on first use)."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._max_workers,
+                        thread_name_prefix="repro-serve",
+                    )
+                pool = self._pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; queries stay valid)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> QueryService:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_plan(
+        self, state: _ServiceState, plan: BatchPlan, max_workers: int | None
+    ) -> list[RetrievalResult | AggregateResult]:
+        workers = self._max_workers if max_workers is None else int(max_workers)
+        workers = max(1, workers)
+        if not plan.queries:
+            return []
+        if max_workers is not None and workers != self._max_workers:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return self._run_plan_on(pool, workers, state, plan)
+        return self._run_plan_on(self._executor(), workers, state, plan)
+
+    def _run_plan_on(
+        self,
+        pool: ThreadPoolExecutor,
+        workers: int,
+        state: _ServiceState,
+        plan: BatchPlan,
+    ) -> list[RetrievalResult | AggregateResult]:
+        # Phase 1: every distinct series, batched per provider kind.
+        by_kind = list(plan.keys_by_kind().items())
+        list(
+            pool.map(
+                lambda item: self._warm_kind(state, item[0], item[1]),
+                by_kind,
+            )
+        )
+        # Phase 2: per-query evaluation against the warmed cache, in
+        # contiguous chunks (one task per worker keeps the per-future
+        # overhead from dominating small workloads); chunked map
+        # preserves submission order.
+        queries = plan.queries
+        chunk = -(-len(queries) // workers)
+        groups = [queries[i : i + chunk] for i in range(0, len(queries), chunk)]
+        evaluated = pool.map(
+            lambda group: [self._execute_on(state, p.query) for p in group],
+            groups,
+        )
+        return [result for group in evaluated for result in group]
+
+    # ------------------------------------------------------------------
+    # Extension
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        new_frames: list[PointCloudFrame],
+        *,
+        model: DetectionModel | None = None,
+    ) -> QueryService:
+        """Ingest a frame batch; invalidate only changed series tails.
+
+        Runs :meth:`MASTPipeline.extend`, then (a) seeds the rebuilt
+        linear provider with the still-valid per-sampled-frame counts of
+        the previous epoch and (b) truncates cached series to the prefix
+        the extension left unchanged.  Queries already in flight keep
+        answering on the pre-extension snapshot.
+        """
+        with self._extend_lock:
+            old_state = self._state
+            old_linear = old_state.provider("linear")
+            self._pipeline.extend(new_frames, model=model)
+            boundary = self._pipeline.last_extend_boundary
+            assert boundary is not None
+            providers = self._pipeline.providers
+            self._prime_linear(old_linear, providers["linear"], boundary)
+            generation = old_state.generation + 1
+            self.cache.invalidate_tail(boundary, generation)
+            self._state = _ServiceState(
+                generation=generation,
+                n_frames=providers["st"].n_frames,
+                providers=providers,
+            )
+        return self
+
+    @staticmethod
+    def _prime_linear(old_provider, new_provider, boundary: int) -> None:
+        """Carry still-valid sampled counts into the rebuilt provider.
+
+        Sampled frames at ids ``<= boundary`` kept their detections, so
+        each memoized filter only needs fresh counts for the sampled ids
+        beyond the boundary — O(extension) instead of O(sequence).
+        """
+        if boundary < 0:
+            return
+        old_ids = old_provider.result.sampled_ids
+        new_ids = new_provider.result.sampled_ids
+        keep = int(np.searchsorted(old_ids, boundary, side="right"))
+        if keep == 0 or keep > len(new_ids):
+            return
+        if not np.array_equal(old_ids[:keep], new_ids[:keep]):
+            return
+        detections = new_provider.result.detections
+        for object_filter, counts in old_provider.cached_sampled_counts().items():
+            tail = np.array(
+                [
+                    object_filter.count(detections[int(frame_id)])
+                    for frame_id in new_ids[keep:]
+                ],
+                dtype=float,
+            )
+            new_provider.prime(
+                object_filter, np.concatenate([counts[:keep], tail])
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryService(frames={self.n_frames}, "
+            f"generation={self.generation}, {self.cache.stats().describe()})"
+        )

@@ -11,6 +11,7 @@ both, broken down by pipeline stage.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -26,11 +27,23 @@ STAGE_QUERY = "query"
 
 @dataclass
 class CostLedger:
-    """Accumulates simulated and measured seconds per pipeline stage."""
+    """Accumulates simulated and measured seconds per pipeline stage.
+
+    All mutation goes through a lock, so one ledger may be charged from
+    many threads (the batched query service fans evaluation out over a
+    thread pool).  Besides seconds, the ledger keeps per-stage cache
+    counters so serving-layer hit rates land in the same report as the
+    costs they amortize.
+    """
 
     simulated: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     measured: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    cache_hits: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    cache_misses: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Recording
@@ -43,8 +56,9 @@ class CostLedger:
         """
         if seconds < 0:
             raise ValueError(f"cannot charge negative time ({seconds})")
-        self.simulated[stage] += seconds
-        self.counts[stage] += count
+        with self._lock:
+            self.simulated[stage] += seconds
+            self.counts[stage] += count
 
     @contextmanager
     def measure(self, stage: str):
@@ -53,17 +67,38 @@ class CostLedger:
         try:
             yield
         finally:
-            self.measured[stage] += time.perf_counter() - start
-            self.counts[stage] += 1
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.measured[stage] += elapsed
+                self.counts[stage] += 1
+
+    def record_cache(self, stage: str, *, hit: bool, count: int = 1) -> None:
+        """Record ``count`` cache lookups (hits or misses) for ``stage``."""
+        with self._lock:
+            if hit:
+                self.cache_hits[stage] += count
+            else:
+                self.cache_misses[stage] += count
 
     def merge(self, other: CostLedger) -> None:
         """Fold another ledger's charges into this one."""
-        for stage, sec in other.simulated.items():
-            self.simulated[stage] += sec
-        for stage, sec in other.measured.items():
-            self.measured[stage] += sec
-        for stage, n in other.counts.items():
-            self.counts[stage] += n
+        with other._lock:
+            simulated = dict(other.simulated)
+            measured = dict(other.measured)
+            counts = dict(other.counts)
+            cache_hits = dict(other.cache_hits)
+            cache_misses = dict(other.cache_misses)
+        with self._lock:
+            for stage, sec in simulated.items():
+                self.simulated[stage] += sec
+            for stage, sec in measured.items():
+                self.measured[stage] += sec
+            for stage, n in counts.items():
+                self.counts[stage] += n
+            for stage, n in cache_hits.items():
+                self.cache_hits[stage] += n
+            for stage, n in cache_misses.items():
+                self.cache_misses[stage] += n
 
     # ------------------------------------------------------------------
     # Reporting
@@ -82,6 +117,17 @@ class CostLedger:
         """Stage -> total seconds, for reports."""
         stages = sorted(set(self.simulated) | set(self.measured))
         return {stage: self.total(stage) for stage in stages}
+
+    def cache_summary(self) -> dict[str, dict[str, int]]:
+        """Stage -> ``{"hits": ..., "misses": ...}`` for stages with lookups."""
+        stages = sorted(set(self.cache_hits) | set(self.cache_misses))
+        return {
+            stage: {
+                "hits": self.cache_hits.get(stage, 0),
+                "misses": self.cache_misses.get(stage, 0),
+            }
+            for stage in stages
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v:.3f}s" for k, v in self.summary().items())

@@ -1,0 +1,148 @@
+"""Concurrency stress: 8 query threads hammering one service during extend.
+
+Eight worker threads repeatedly answer a mixed workload through a single
+:class:`QueryService` while the main thread runs two ``extend()`` calls.
+The assertions encode the thread-safety contract:
+
+* **no torn reads** — every single answer is bit-identical to the serial
+  uncached baseline of *some* epoch (pre-extension, mid, or post), and
+  the epoch is identified per-result from its own frame count;
+* **monotone cache stats** — a sampler thread takes continuous
+  :class:`CacheStats` snapshots and every cumulative counter must be
+  non-decreasing;
+* no worker raises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MASTConfig, MASTPipeline
+from repro.query import RetrievalResult
+from repro.serving import QueryService
+from repro.simulation import semantickitti_like
+from tests.serving.harness import random_workload, serial_uncached_answers
+
+N_THREADS = 8
+ROUNDS_PER_THREAD = 6
+N_QUERIES = 30
+
+
+def _epoch_of(result) -> int:
+    if isinstance(result, RetrievalResult):
+        return result.n_frames
+    return len(result.counts)
+
+
+@pytest.mark.stress
+def test_eight_threads_with_concurrent_extend(detector):
+    full = semantickitti_like(0, n_frames=320, with_points=False)
+    pipeline = MASTPipeline(MASTConfig(seed=4)).fit(
+        full.head(240, name=full.name), detector
+    )
+    service = QueryService(pipeline, max_cache_entries=64)
+    queries = random_workload(seed=21, n_queries=N_QUERIES)
+
+    epoch_samplings = {pipeline.sampling_result.n_frames: pipeline.sampling_result}
+    config = pipeline.config
+
+    collected: list[tuple[int, object]] = []  # (query position, result)
+    snapshots: list = []
+    errors: list[BaseException] = []
+    stop_sampling = threading.Event()
+    start_gate = threading.Event()
+    collect_lock = threading.Lock()
+
+    def worker(thread_index: int) -> None:
+        rng = np.random.default_rng(1000 + thread_index)
+        start_gate.wait()
+        try:
+            local: list[tuple[int, object]] = []
+            for round_index in range(ROUNDS_PER_THREAD):
+                if rng.random() < 0.5:
+                    order = rng.permutation(N_QUERIES)
+                    for position in order[:10]:
+                        local.append(
+                            (int(position), service.execute(queries[int(position)]))
+                        )
+                else:
+                    results = service.execute_batch(queries)
+                    local.extend(enumerate(results))
+            with collect_lock:
+                collected.extend(local)
+        except BaseException as error:  # noqa: BLE001 - recorded for the assert
+            errors.append(error)
+
+    def stats_sampler() -> None:
+        start_gate.wait()
+        while not stop_sampling.is_set():
+            snapshots.append(service.cache_stats())
+            time.sleep(0.002)
+        snapshots.append(service.cache_stats())
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(N_THREADS)
+    ]
+    sampler = threading.Thread(target=stats_sampler)
+    for thread in threads:
+        thread.start()
+    sampler.start()
+    start_gate.set()
+
+    # Two extensions race the query threads.
+    time.sleep(0.05)
+    service.extend(list(full[240:280]))
+    epoch_samplings[pipeline.sampling_result.n_frames] = pipeline.sampling_result
+    time.sleep(0.05)
+    service.extend(list(full[280:320]))
+    epoch_samplings[pipeline.sampling_result.n_frames] = pipeline.sampling_result
+
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "worker thread hung"
+    stop_sampling.set()
+    sampler.join(timeout=10)
+
+    assert not errors, f"workers raised: {errors!r}"
+    assert service.generation == 2
+
+    # --- no torn reads: every answer matches some epoch's serial baseline.
+    baselines = {
+        n_frames: serial_uncached_answers(sampling, config, queries)
+        for n_frames, sampling in epoch_samplings.items()
+    }
+    checked = 0
+    for position, result in collected:
+        epoch = _epoch_of(result)
+        assert epoch in baselines, f"result from unknown epoch {epoch}"
+        expected = baselines[epoch][position]
+        if isinstance(result, RetrievalResult):
+            assert np.array_equal(result.frame_ids, expected.frame_ids), (
+                f"torn retrieval at epoch {epoch}: {result.query.describe()}"
+            )
+        else:
+            same_value = result.value == expected.value or (
+                np.isnan(result.value) and np.isnan(expected.value)
+            )
+            assert same_value, (
+                f"torn aggregate at epoch {epoch}: {result.query.describe()}"
+            )
+            assert np.array_equal(result.counts, expected.counts, equal_nan=True)
+        checked += 1
+    assert checked >= N_THREADS * ROUNDS_PER_THREAD * 10
+
+    # --- monotone cumulative cache statistics.
+    assert len(snapshots) >= 2
+    for previous, current in zip(snapshots, snapshots[1:]):
+        for field in ("hits", "misses", "partial_hits", "evictions",
+                      "invalidations"):
+            assert getattr(current, field) >= getattr(previous, field), (
+                f"cache stat {field} went backwards"
+            )
+    final = snapshots[-1]
+    assert final.hits > 0
+    assert final.invalidations > 0

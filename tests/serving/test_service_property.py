@@ -1,0 +1,102 @@
+"""Property test: service answers == fresh serial engine, always.
+
+Hypothesis drives random compound conditions, random cache bounds, and
+a random interleaving of cache evictions between batches; under every
+such schedule the batched :class:`QueryService` must agree exactly with
+a fresh serial :class:`QueryEngine` evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MASTConfig, MASTPipeline
+from repro.query import (
+    CompoundRetrievalQuery,
+    Condition,
+    ConditionAnd,
+    ConditionOr,
+    CountPredicate,
+    ObjectFilter,
+    SpatialPredicate,
+)
+from repro.serving import QueryService
+from repro.simulation import semantickitti_like
+from tests.serving.harness import assert_results_identical, serial_uncached_answers
+
+
+@pytest.fixture(scope="module")
+def small_pipeline(detector):
+    sequence = semantickitti_like(0, n_frames=160, with_points=False)
+    return MASTPipeline(MASTConfig(seed=17)).fit(sequence, detector)
+
+
+object_filters = st.builds(
+    ObjectFilter,
+    label=st.sampled_from(["Car", "Pedestrian", "Cyclist", None]),
+    spatial=st.one_of(
+        st.none(),
+        st.builds(
+            SpatialPredicate,
+            op=st.sampled_from(["<=", ">="]),
+            threshold=st.floats(min_value=1.0, max_value=30.0,
+                                allow_nan=False, allow_infinity=False),
+        ),
+    ),
+    confidence=st.sampled_from([0.3, 0.5, 0.7]),
+)
+
+conditions = st.builds(
+    Condition,
+    object_filter=object_filters,
+    count_predicate=st.builds(
+        CountPredicate,
+        op=st.sampled_from(["<=", ">=", "<", ">"]),
+        threshold=st.integers(min_value=0, max_value=9).map(float),
+    ),
+)
+
+
+def _combine(children):
+    combinator, parts = children
+    return CompoundRetrievalQuery(condition=combinator(tuple(parts)))
+
+
+compound_queries = st.tuples(
+    st.sampled_from([ConditionAnd, ConditionOr]),
+    st.lists(conditions, min_size=2, max_size=4),
+).map(_combine)
+
+
+@given(
+    queries=st.lists(compound_queries, min_size=1, max_size=8),
+    max_entries=st.integers(min_value=1, max_value=6),
+    evict_between=st.booleans(),
+    split=st.integers(min_value=0, max_value=8),
+)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_batched_equals_fresh_serial(
+    small_pipeline, queries, max_entries, evict_between, split
+):
+    service = QueryService(small_pipeline, max_cache_entries=max_entries)
+    split = min(split, len(queries))
+    first, second = queries[:split], queries[split:]
+
+    results = []
+    if first:
+        results.extend(service.execute_batch(first))
+    if evict_between:
+        service.cache.clear()
+    if second:
+        results.extend(service.execute_batch(second))
+
+    expected = serial_uncached_answers(
+        small_pipeline.sampling_result, small_pipeline.config, queries
+    )
+    assert_results_identical(results, expected, "[property]")

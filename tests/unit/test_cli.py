@@ -130,6 +130,49 @@ class TestExperiment:
         assert "retrieval F1" in output
 
 
+class TestServeWorkload:
+    def test_generated_workload(self):
+        status, output = run_cli(
+            "serve-workload", "--frames", "200", "--queries", "12",
+            "--repeat", "2", "--threads", "2", "--show", "2",
+        )
+        assert status == 0
+        assert "served 2 x 12 queries" in output
+        assert "cache:" in output
+        assert "hits" in output
+        assert output.count("->") == 2
+
+    def test_workload_file(self, tmp_path):
+        workload = tmp_path / "workload.txt"
+        workload.write_text(
+            "# demo workload\n"
+            "SELECT AVG OF COUNT(Car)\n"
+            "\n"
+            "SELECT FRAMES WHERE COUNT(Car) >= 1\n"
+        )
+        status, output = run_cli(
+            "serve-workload", "--frames", "150", "--workload", str(workload),
+            "--repeat", "1", "--show", "0",
+        )
+        assert status == 0
+        assert "served 1 x 2 queries" in output
+
+    def test_bad_workload_file(self, tmp_path):
+        workload = tmp_path / "bad.txt"
+        workload.write_text("SELECT NONSENSE\n")
+        status, output = run_cli(
+            "serve-workload", "--frames", "150", "--workload", str(workload),
+        )
+        assert status == 2
+        assert "error" in output
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-workload"])
+        assert args.queries == 50
+        assert args.repeat == 2
+        assert args.threads == 4
+
+
 class TestTracks:
     def test_summary_table(self, checkpoint):
         seq_path, det_path = checkpoint

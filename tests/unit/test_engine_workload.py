@@ -13,6 +13,7 @@ from repro.query import (
     parse_query,
 )
 from repro.query.predicates import ObjectFilter
+from repro.utils.timing import STAGE_QUERY
 
 
 class FakeProvider:
@@ -78,6 +79,77 @@ class TestQueryEngine:
         engine = QueryEngine(FakeProvider())
         result = engine.execute("SELECT FRAMES WHERE COUNT(Car) >= 4")
         assert result.id_set() == {4, 9, 14, 19}
+
+
+class TestExecuteManySemantics:
+    """Result-order and ledger-charging contract of batch execution."""
+
+    QUERIES = [
+        "SELECT FRAMES WHERE COUNT(Car) >= 4",
+        "SELECT MIN OF COUNT(Car)",
+        "SELECT FRAMES WHERE COUNT(Car) >= 1",
+        "SELECT MAX OF COUNT(Car)",
+        "SELECT AVG OF COUNT(Car)",
+    ]
+
+    def test_results_preserve_submission_order(self):
+        engine = QueryEngine(FakeProvider())
+        results = engine.execute_many(self.QUERIES)
+        assert [type(r).__name__ for r in results] == [
+            "RetrievalResult",
+            "AggregateResult",
+            "RetrievalResult",
+            "AggregateResult",
+            "AggregateResult",
+        ]
+        assert results[0].cardinality == 4
+        assert results[2].cardinality == 16
+        assert (results[1].value, results[3].value) == (0.0, 4.0)
+
+    def test_each_query_charged_exactly_once(self):
+        provider = FakeProvider(n_frames=50)
+        engine = QueryEngine(provider)
+        engine.execute_many(self.QUERIES)
+        assert engine.ledger.counts[STAGE_QUERY] == len(self.QUERIES)
+        per_query = provider.simulated_query_cost_per_frame * provider.n_frames
+        assert engine.ledger.simulated[STAGE_QUERY] == pytest.approx(
+            len(self.QUERIES) * per_query
+        )
+
+    def test_batch_charge_equals_sequential_sum(self):
+        batch_engine = QueryEngine(FakeProvider(n_frames=50))
+        batch_engine.execute_many(self.QUERIES)
+
+        serial_engine = QueryEngine(FakeProvider(n_frames=50))
+        for query in self.QUERIES:
+            serial_engine.execute(query)
+
+        assert (
+            batch_engine.ledger.counts[STAGE_QUERY]
+            == serial_engine.ledger.counts[STAGE_QUERY]
+        )
+        assert batch_engine.ledger.simulated[STAGE_QUERY] == pytest.approx(
+            serial_engine.ledger.simulated[STAGE_QUERY]
+        )
+
+    def test_pipeline_query_many_matches_engine_semantics(
+        self, kitti_sequence, detector
+    ):
+        """query_many: order preserved, one charge per query."""
+        from repro.core import MASTConfig, MASTPipeline
+
+        pipeline = MASTPipeline(MASTConfig(seed=3)).fit(kitti_sequence, detector)
+        before = pipeline.ledger.counts[STAGE_QUERY]
+        queries = [
+            "SELECT MIN OF COUNT(Car)",
+            "SELECT FRAMES WHERE COUNT(Car) >= 1",
+            "SELECT MAX OF COUNT(Car)",
+        ]
+        results = pipeline.query_many(queries)
+        assert pipeline.ledger.counts[STAGE_QUERY] - before == len(queries)
+        assert isinstance(results[0], AggregateResult)
+        assert isinstance(results[1], RetrievalResult)
+        assert results[0].value <= results[2].value
 
 
 class TestWorkloadGeneration:

@@ -145,3 +145,78 @@ class TestLinearCountProvider:
             linear.simulated_query_cost_per_frame
             < st.simulated_query_cost_per_frame
         )
+
+
+FILTER_SET = [
+    CAR_NEAR,
+    ObjectFilter(label="Car", spatial=SpatialPredicate(">=", 20.0)),
+    ObjectFilter(label="Pedestrian"),
+    ObjectFilter(confidence=0.7),
+    ObjectFilter(),
+]
+
+
+class TestBatchedSeriesAPI:
+    """count_series_many / count_series_tail / cached_filters contracts."""
+
+    @pytest.mark.parametrize("provider_kind", ["index", "st", "linear"])
+    def test_many_matches_one_by_one(self, sampling, provider_kind):
+        if provider_kind == "linear":
+            provider = LinearCountProvider(sampling)
+        else:
+            built = MASTIndex.build(sampling, MASTConfig(seed=2))
+            provider = built if provider_kind == "index" else STCountProvider(built)
+        batched = provider.count_series_many(FILTER_SET)
+        for object_filter in FILTER_SET:
+            assert np.array_equal(
+                batched[object_filter], provider.count_series(object_filter)
+            )
+
+    def test_many_populates_cache(self, sampling):
+        provider = LinearCountProvider(sampling)
+        provider.count_series_many(FILTER_SET)
+        assert set(provider.cached_filters()) == set(FILTER_SET)
+
+    def test_tail_equals_series_slice(self, index, sampling):
+        for provider in (index, LinearCountProvider(sampling)):
+            series = provider.count_series(CAR_NEAR)
+            for start in (0, 1, index.n_frames // 2, index.n_frames - 1):
+                tail = provider.count_series_tail(CAR_NEAR, start)
+                assert np.array_equal(tail, series[start:]), (
+                    f"{type(provider).__name__} tail mismatch at start={start}"
+                )
+
+    def test_cached_filters_public_api(self, sampling):
+        index = MASTIndex.build(sampling, MASTConfig(seed=2))
+        assert list(index.cached_filters()) == []
+        index.count_series(CAR_NEAR)
+        assert list(index.cached_filters()) == [CAR_NEAR]
+        index.clear_count_cache()
+        assert list(index.cached_filters()) == []
+
+    def test_quantized_view_shares_batched_cache(self, sampling):
+        provider = LinearCountProvider(sampling)
+        view = provider.quantized()
+        provider.count_series_many(FILTER_SET)
+        assert set(view.cached_filters()) == set(FILTER_SET)
+        assert np.array_equal(
+            view.count_series(CAR_NEAR),
+            np.floor(provider.count_series(CAR_NEAR)),
+        )
+
+    def test_prime_validates_shape(self, sampling):
+        provider = LinearCountProvider(sampling)
+        with pytest.raises(ValueError, match="sampled"):
+            provider.prime(CAR_NEAR, np.zeros(3))
+
+    def test_prime_equals_recompute(self, sampling):
+        cold = LinearCountProvider(sampling)
+        primed = LinearCountProvider(sampling)
+        counts = cold.cached_sampled_counts()
+        assert counts == {}
+        cold.count_series(CAR_NEAR)
+        carried = cold.cached_sampled_counts()[CAR_NEAR]
+        primed.prime(CAR_NEAR, carried)
+        assert np.array_equal(
+            primed.count_series(CAR_NEAR), cold.count_series(CAR_NEAR)
+        )

@@ -120,3 +120,72 @@ class TestExtend:
         pipe.extend(list(full[200:400]))
         fraction = pipe.sampling_result.sampling_fraction
         assert fraction == pytest.approx(0.1, abs=0.02)
+
+
+class TestExtendFrameIdAlignment:
+    """Regression: extend() must key new detections by extended-sequence
+    frame ids, not re-base the appended batch at zero."""
+
+    def test_sampled_detections_match_source_frames(self, exact_detector):
+        from repro.query import ObjectFilter
+        from repro.simulation import semantickitti_like
+
+        full = semantickitti_like(1, n_frames=300, with_points=False)
+        pipe = MASTPipeline(MASTConfig(seed=4)).fit(
+            full.head(200, name=full.name), exact_detector
+        )
+        pipe.extend(list(full[200:300]))
+        sampling = pipe.sampling_result
+        everything = ObjectFilter()
+        # A frame-id shift would pair detections with the wrong source
+        # frame; the perfect detector makes any mismatch exact.
+        new_ids = sampling.sampled_ids[sampling.sampled_ids >= 200]
+        assert len(new_ids) >= 2
+        for frame_id in sampling.sampled_ids:
+            frame_id = int(frame_id)
+            assert (
+                everything.count(sampling.detections[frame_id])
+                == full[frame_id].n_objects
+            ), f"detections at frame {frame_id} do not match the source frame"
+
+    def test_extend_matches_whole_sequence_fit(self, exact_detector):
+        """Shared sampled ids agree with a from-scratch fit of the full run."""
+        from repro.query import ObjectFilter
+        from repro.simulation import semantickitti_like
+
+        full = semantickitti_like(1, n_frames=300, with_points=False)
+        extended = MASTPipeline(MASTConfig(seed=4)).fit(
+            full.head(200, name=full.name), exact_detector
+        )
+        extended.extend(list(full[200:300]))
+        fresh = MASTPipeline(MASTConfig(seed=4)).fit(full, exact_detector)
+
+        everything = ObjectFilter()
+        shared = set(map(int, extended.sampling_result.sampled_ids)) & set(
+            map(int, fresh.sampling_result.sampled_ids)
+        )
+        assert shared
+        for frame_id in sorted(shared):
+            assert everything.count(
+                extended.sampling_result.detections[frame_id]
+            ) == everything.count(fresh.sampling_result.detections[frame_id])
+
+    def test_last_extend_boundary_semantics(self, detector):
+        from repro.simulation import semantickitti_like
+
+        full = semantickitti_like(0, n_frames=300, with_points=False)
+        pipe = MASTPipeline(MASTConfig(seed=4)).fit(
+            full.head(200, name=full.name), detector
+        )
+        assert pipe.last_extend_boundary is None
+        old_ids = pipe.sampling_result.sampled_ids.copy()
+
+        pipe.extend(list(full[200:300]))
+        boundary = pipe.last_extend_boundary
+        expected_prefix = old_ids[old_ids < 199]
+        expected = int(expected_prefix.max()) if len(expected_prefix) else -1
+        assert boundary == expected
+        # Counts on frames up to the boundary only depend on detections
+        # at bracketing sampled frames, all of which were preserved.
+        kept = pipe.sampling_result.sampled_ids
+        assert set(map(int, old_ids[old_ids <= boundary])) <= set(map(int, kept))

@@ -1,0 +1,178 @@
+"""Parallel sampling bench: pooled fitting speedup + warm-store reuse.
+
+Measures the two claims of the parallel inference engine on a 600-frame
+SemanticKITTI-shaped scenario:
+
+1. **Fitting speedup** — a MAST fit whose model carries real per-frame
+   inference latency (a :class:`~repro.inference.PacedModel`, emulating
+   the accelerator round-trips a deployment blocks on) runs the same
+   policy serially and with a thread pool; the wave-batched engine must
+   overlap the latency for a >= 2x wall-clock speedup with 4 workers,
+   while producing bit-identical sampled ids and detections.
+
+2. **Warm-store reuse** — running the same experiment twice against one
+   shared :class:`~repro.inference.DetectionStore` must answer 100 % of
+   the second run's detection lookups from the store (miss counter does
+   not move; per-method ledgers show zero model invocations).
+
+Writes machine-readable ``benchmarks/results/BENCH_sampling.json`` so CI
+can gate on the speedup and the reuse fraction.  ``--smoke`` shrinks the
+scenario for fast CI runs (the assertions still hold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.variants import MAST, SEIDEN_PC
+from repro.core.config import MASTConfig
+from repro.core.sampler import HierarchicalMultiAgentSampler
+from repro.evalx.runner import run_experiment
+from repro.inference import DetectionStore, InferenceEngine, PacedModel
+from repro.models import pv_rcnn
+from repro.query.workload import QueryWorkload, generate_workload
+from repro.simulation import build_sequence, dataset_spec
+from repro.utils.timing import STAGE_MODEL, CostLedger
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sampling.json"
+MODEL_SEED = 5
+
+
+def fit_once(sequence, config, model, *, executor, workers):
+    """One MAST fit through an explicit engine; returns (result, seconds)."""
+    sampler = HierarchicalMultiAgentSampler(config)
+    ledger = CostLedger()
+    start = time.perf_counter()
+    with InferenceEngine(executor, workers=workers) as engine:
+        result = sampler.sample(sequence, model, ledger=ledger, engine=engine)
+    return result, time.perf_counter() - start
+
+
+def bench_fitting(sequence, *, latency, workers, wave_size):
+    config = MASTConfig(budget_fraction=0.10, wave_size=wave_size, seed=3)
+    model = PacedModel(pv_rcnn(seed=MODEL_SEED), latency=latency)
+
+    serial_result, serial_seconds = fit_once(
+        sequence, config, model, executor="serial", workers=None
+    )
+    parallel_result, parallel_seconds = fit_once(
+        sequence, config, model, executor="thread", workers=workers
+    )
+
+    assert np.array_equal(serial_result.sampled_ids, parallel_result.sampled_ids), (
+        "pooled fit changed the sampled frame set"
+    )
+    for frame_id, objects in serial_result.detections.items():
+        parallel_objects = parallel_result.detections[frame_id]
+        assert np.array_equal(objects.centers, parallel_objects.centers)
+        assert np.array_equal(objects.scores, parallel_objects.scores)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    return {
+        "frames": len(sequence),
+        "sampled": int(len(serial_result.sampled_ids)),
+        "wave_size": wave_size,
+        "workers": workers,
+        "paced_latency_s": latency,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 3),
+    }
+
+
+def bench_store_reuse(sequence):
+    full = generate_workload(per_operator=2, rng=2)
+    workload = QueryWorkload(retrieval=full.retrieval[:8], aggregates=full.aggregates)
+    config = MASTConfig(budget_fraction=0.10, wave_size=4, seed=3)
+    model = pv_rcnn(seed=MODEL_SEED)
+    store = DetectionStore()
+
+    run_experiment(
+        sequence, model, workload,
+        methods=(SEIDEN_PC, MAST), config=config, detection_store=store,
+    )
+    cold = store.stats()
+
+    second = run_experiment(
+        sequence, model, workload,
+        methods=(SEIDEN_PC, MAST), config=config, detection_store=store,
+    )
+    warm = store.stats()
+
+    new_misses = warm.misses - cold.misses
+    warm_lookups = warm.lookups - cold.lookups
+    reused = warm_lookups - new_misses
+    warm_invocations = sum(
+        report.ledger.invocations(STAGE_MODEL)
+        for report in second.methods.values()
+    )
+    assert new_misses == 0, f"warm run re-detected {new_misses} frames"
+    assert warm_invocations == 0, "warm run charged model invocations"
+    return {
+        "cold_misses": cold.misses,
+        "warm_lookups": warm_lookups,
+        "warm_misses": new_misses,
+        "reused_fraction": round(reused / warm_lookups, 4) if warm_lookups else 1.0,
+        "warm_model_invocations": warm_invocations,
+        "store": store.stats().as_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=600)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--wave-size", type=int, default=8)
+    parser.add_argument("--latency", type=float, default=0.02,
+                        help="real seconds of paced inference per frame")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenario for CI (keeps all assertions)")
+    args = parser.parse_args(argv)
+
+    frames = 150 if args.smoke else args.frames
+    latency = 0.01 if args.smoke else args.latency
+
+    sequence = build_sequence(
+        dataset_spec("semantickitti"), 0, n_frames=frames, with_points=False
+    )
+    fitting = bench_fitting(
+        sequence, latency=latency, workers=args.workers, wave_size=args.wave_size
+    )
+    reuse = bench_store_reuse(sequence)
+
+    payload = {"fitting": fitting, "store_reuse": reuse}
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"fit {fitting['frames']} frames ({fitting['sampled']} sampled, "
+        f"paced {latency * 1e3:.0f} ms/frame): "
+        f"serial {fitting['serial_seconds']:.2f}s vs "
+        f"{fitting['workers']}-worker pool {fitting['parallel_seconds']:.2f}s "
+        f"-> {fitting['speedup']:.2f}x"
+    )
+    print(
+        f"warm store reuse: {reuse['warm_lookups']} lookups, "
+        f"{reuse['warm_misses']} misses "
+        f"({100 * reuse['reused_fraction']:.1f} % reused), "
+        f"{reuse['warm_model_invocations']} model invocations"
+    )
+    print(f"wrote {RESULTS_PATH}")
+
+    if fitting["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {fitting['speedup']:.2f}x "
+            f"below required {args.min_speedup:.1f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.core import MASTConfig, MASTIndex, MASTPipeline, SamplingResult
 from repro.data import FrameSequence, ObjectArray, PointCloudDatabase, PointCloudFrame
+from repro.inference import DetectionStore, InferenceEngine
 from repro.query import AggregateQuery, QueryEngine, RetrievalQuery, parse_query
 from repro.serving import QueryService
 
@@ -29,7 +30,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregateQuery",
+    "DetectionStore",
     "FrameSequence",
+    "InferenceEngine",
     "MASTConfig",
     "MASTIndex",
     "MASTPipeline",

@@ -13,9 +13,10 @@ import numpy as np
 
 from repro.data.annotations import ObjectArray
 from repro.data.sequence import FrameSequence
+from repro.inference import InferenceEngine
 from repro.models.base import DetectionModel
 from repro.query.predicates import ObjectFilter
-from repro.utils.timing import STAGE_MODEL, CostLedger
+from repro.utils.timing import CostLedger
 
 __all__ = ["OracleCountProvider", "SIMULATED_QUERY_COST_ORACLE"]
 
@@ -36,20 +37,32 @@ class OracleCountProvider:
         model: DetectionModel,
         *,
         ledger: CostLedger | None = None,
+        engine: InferenceEngine | None = None,
     ) -> None:
         self.n_frames = len(sequence)
         self.ledger = ledger if ledger is not None else CostLedger()
         self.model_name = model.name
         self._detections: dict[int, ObjectArray] = {}
 
+        # The Oracle's frame set is the whole sequence — one wave.
+        if engine is None:
+            with InferenceEngine() as private_engine:
+                private_engine.detect_wave(
+                    sequence, range(self.n_frames), model,
+                    ledger=self.ledger, known=self._detections,
+                )
+        else:
+            engine.detect_wave(
+                sequence, range(self.n_frames), model,
+                ledger=self.ledger, known=self._detections,
+            )
+
         frame_idx_parts: list[np.ndarray] = []
         label_parts: list[np.ndarray] = []
         position_parts: list[np.ndarray] = []
         score_parts: list[np.ndarray] = []
         for frame in sequence:
-            self.ledger.charge(STAGE_MODEL, model.cost_per_frame)
-            objects = model.detect(frame).objects
-            self._detections[frame.frame_id] = objects
+            objects = self._detections[frame.frame_id]
             if not len(objects):
                 continue
             frame_idx_parts.append(

@@ -28,11 +28,12 @@ import numpy as np
 from repro.core.sampler import uniform_ids
 from repro.data.annotations import ObjectArray
 from repro.data.sequence import FrameSequence
+from repro.inference import InferenceEngine
 from repro.models.base import DetectionModel
 from repro.models.detectors import SimulatedDetector
 from repro.models.noise import NoiseProfile
 from repro.query.predicates import ObjectFilter
-from repro.utils.timing import STAGE_MODEL, CostLedger
+from repro.utils.timing import CostLedger
 from repro.utils.validation import require_fraction
 
 __all__ = ["tiny_proxy", "PROFILE_TINY_PROXY", "ProxyCountProvider"]
@@ -86,6 +87,7 @@ class ProxyCountProvider:
         proxy_model: DetectionModel | None = None,
         oracle_fraction: float = 0.05,
         ledger: CostLedger | None = None,
+        engine: InferenceEngine | None = None,
     ) -> None:
         require_fraction(oracle_fraction, "oracle_fraction")
         self.n_frames = len(sequence)
@@ -94,24 +96,40 @@ class ProxyCountProvider:
         self.proxy_name = proxy_model.name
         self.oracle_name = oracle_model.name
 
-        # Proxy pass over everything (this is the approach's whole point).
         self._proxy_detections: dict[int, ObjectArray] = {}
-        for frame in sequence:
-            self.ledger.charge(STAGE_MODEL, proxy_model.cost_per_frame)
-            self._proxy_detections[frame.frame_id] = proxy_model.detect(frame).objects
-
-        # Oracle calibration subset (uniform, endpoints included).
+        self._oracle_detections: dict[int, ObjectArray] = {}
         budget = max(2, round(oracle_fraction * self.n_frames))
         self.calibration_ids = uniform_ids(self.n_frames, budget)
-        self._oracle_detections: dict[int, ObjectArray] = {}
-        for frame_id in self.calibration_ids:
-            self.ledger.charge(STAGE_MODEL, oracle_model.cost_per_frame)
-            self._oracle_detections[int(frame_id)] = oracle_model.detect(
-                sequence[int(frame_id)]
-            ).objects
+        if engine is None:
+            with InferenceEngine() as private_engine:
+                self._detect_passes(
+                    sequence, proxy_model, oracle_model, private_engine
+                )
+        else:
+            self._detect_passes(sequence, proxy_model, oracle_model, engine)
 
         self._cache: dict[ObjectFilter, np.ndarray] = {}
         self._fits: dict[ObjectFilter, tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    def _detect_passes(
+        self,
+        sequence: FrameSequence,
+        proxy_model: DetectionModel,
+        oracle_model: DetectionModel,
+        engine: InferenceEngine,
+    ) -> None:
+        """Proxy pass over every frame + oracle calibration subset."""
+        # Proxy pass over everything (this is the approach's whole point).
+        engine.detect_wave(
+            sequence, range(self.n_frames), proxy_model,
+            ledger=self.ledger, known=self._proxy_detections,
+        )
+        # Oracle calibration subset (uniform, endpoints included).
+        engine.detect_wave(
+            sequence, [int(i) for i in self.calibration_ids], oracle_model,
+            ledger=self.ledger, known=self._oracle_detections,
+        )
 
     # ------------------------------------------------------------------
     def calibration_for(self, object_filter: ObjectFilter) -> tuple[float, float]:

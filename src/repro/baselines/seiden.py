@@ -50,6 +50,17 @@ class SeidenPCSampler(BaseSampler):
         model: DetectionModel,
         *,
         ledger: CostLedger | None = None,
+        engine=None,
+    ) -> SamplingResult:
+        with self._inference(engine) as engine:
+            return self._sample(sequence, model, ledger, engine)
+
+    def _sample(
+        self,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        ledger: CostLedger | None,
+        engine,
     ) -> SamplingResult:
         config = self.config
         ledger = ledger if ledger is not None else CostLedger()
@@ -58,7 +69,7 @@ class SeidenPCSampler(BaseSampler):
         uniform_budget = config.uniform_budget_for(budget)
 
         sampled, detections = self._uniform_phase(
-            sequence, model, uniform_budget, ledger
+            sequence, model, uniform_budget, ledger, engine
         )
         rng = ensure_rng(config.seed, "seiden", sequence.name)
 
@@ -74,22 +85,39 @@ class SeidenPCSampler(BaseSampler):
 
         rewards: list[float] = []
         remaining_budget = budget - len(sampled)
+        # Waves mirror the MAST sampler: each round draws up to
+        # ``wave_size`` arms (UCB values frozen within the round),
+        # detects the candidate set in one engine submission, then
+        # scores and updates sequentially.  Wave size 1 is the original
+        # strictly sequential bandit.
         while remaining_budget > 0 and available.any():
+            wave: list[tuple[int, int]] = []
             with ledger.measure(STAGE_POLICY):
-                arm = agent.select(available)
-                pool = remaining_frames[arm]
-                frame_id = pool.pop(int(rng.integers(len(pool))))
-                if not pool:
-                    available[arm] = False
-            actual = self._detect(sequence, frame_id, model, detections, ledger)
-            with ledger.measure(STAGE_POLICY):
-                reward = self._adaptive_reward(
-                    sequence, sampled, detections, frame_id, actual, self.reward_kind
-                )
-                agent.update(arm, reward)
-                bisect.insort(sampled, frame_id)
-                rewards.append(reward)
-            remaining_budget -= 1
+                while len(wave) < min(config.wave_size, remaining_budget):
+                    if not available.any():
+                        break
+                    arm = agent.select(available)
+                    pool = remaining_frames[arm]
+                    frame_id = pool.pop(int(rng.integers(len(pool))))
+                    if not pool:
+                        available[arm] = False
+                    wave.append((arm, frame_id))
+            if not wave:
+                break
+            self._detect_wave(
+                sequence, [fid for _, fid in wave], model, detections, ledger, engine
+            )
+            for arm, frame_id in wave:
+                actual = detections[frame_id]
+                with ledger.measure(STAGE_POLICY):
+                    reward = self._adaptive_reward(
+                        sequence, sampled, detections, frame_id, actual,
+                        self.reward_kind,
+                    )
+                    agent.update(arm, reward)
+                    bisect.insort(sampled, frame_id)
+                    rewards.append(reward)
+                remaining_budget -= 1
 
         return SamplingResult(
             sequence_name=sequence.name,

@@ -28,10 +28,14 @@ class UniformSampler(BaseSampler):
         model: DetectionModel,
         *,
         ledger: CostLedger | None = None,
+        engine=None,
     ) -> SamplingResult:
         ledger = ledger if ledger is not None else CostLedger()
         budget = self.config.budget_for(len(sequence))
-        sampled, detections = self._uniform_phase(sequence, model, budget, ledger)
+        with self._inference(engine) as engine:
+            sampled, detections = self._uniform_phase(
+                sequence, model, budget, ledger, engine
+            )
         return SamplingResult(
             sequence_name=sequence.name,
             n_frames=len(sequence),
@@ -59,6 +63,7 @@ class RandomSampler(BaseSampler):
         model: DetectionModel,
         *,
         ledger: CostLedger | None = None,
+        engine=None,
     ) -> SamplingResult:
         ledger = ledger if ledger is not None else CostLedger()
         n_frames = len(sequence)
@@ -71,9 +76,9 @@ class RandomSampler(BaseSampler):
                            replace=False)
         sampled = np.sort(np.concatenate([forced, extra])).astype(np.int64)
 
-        detections = {}
-        for frame_id in sampled:
-            self._detect(sequence, int(frame_id), model, detections, ledger)
+        detections: dict[int, object] = {}
+        with self._inference(engine) as engine:
+            self._detect_wave(sequence, sampled, model, detections, ledger, engine)
         return SamplingResult(
             sequence_name=sequence.name,
             n_frames=n_frames,

@@ -68,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--budget", type=float, default=0.10,
                      help="sampling budget fraction (default 0.10)")
     fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--executor", choices=("serial", "thread", "process"),
+                     default="serial", help="detection execution strategy")
+    fit.add_argument("--workers", type=int, default=0,
+                     help="pool workers (0 = one per CPU)")
+    fit.add_argument("--wave-size", type=int, default=1,
+                     help="frames requested per adaptive policy round")
+    fit.add_argument("--store", default=None, metavar="DIR",
+                     help="persistent detection store directory "
+                     "(repeat runs reuse detections)")
     fit.add_argument("--out", required=True, help="detections .npz path")
 
     query = sub.add_parser(
@@ -98,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--budget", type=float, default=0.10)
     experiment.add_argument("--model", choices=available_models(), default="pv_rcnn")
     experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument("--executor", choices=("serial", "thread", "process"),
+                            default="serial", help="detection execution strategy")
+    experiment.add_argument("--workers", type=int, default=0,
+                            help="pool workers (0 = one per CPU)")
+    experiment.add_argument("--wave-size", type=int, default=1,
+                            help="frames requested per adaptive policy round")
 
     serve = sub.add_parser(
         "serve-workload",
@@ -138,11 +153,21 @@ def _cmd_simulate(args, out) -> int:
 
 
 def _cmd_fit(args, out) -> int:
+    from repro.inference import DetectionStore, InferenceEngine
+
     sequence = load_sequence(args.sequence)
     model = make_model(args.model, seed=args.seed)
-    config = MASTConfig(budget_fraction=args.budget, seed=args.seed)
+    config = MASTConfig(
+        budget_fraction=args.budget,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        wave_size=args.wave_size,
+    )
+    store = DetectionStore(persist_dir=args.store) if args.store else None
     sampler = HierarchicalMultiAgentSampler(config)
-    result = sampler.sample(sequence, model)
+    with InferenceEngine.from_config(config, store=store) as engine:
+        result = sampler.sample(sequence, model, engine=engine)
     path = save_detections(result.detections, args.out, model_name=model.name)
     print(
         f"sampled {len(result.sampled_ids)} / {len(sequence)} frames "
@@ -150,6 +175,14 @@ def _cmd_fit(args, out) -> int:
         f"deep-model time {result.ledger.total('deep_model'):.1f}s -> {path}",
         file=out,
     )
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"detection store: {stats.hits} memory hits, "
+            f"{stats.disk_hits} disk hits, {stats.misses} misses, "
+            f"{stats.entries} entries",
+            file=out,
+        )
     return 0
 
 
@@ -241,7 +274,13 @@ def _cmd_experiment(args, out) -> int:
         sequence,
         model,
         generate_workload(rng=args.seed),
-        config=MASTConfig(seed=args.seed, budget_fraction=args.budget),
+        config=MASTConfig(
+            seed=args.seed,
+            budget_fraction=args.budget,
+            executor=args.executor,
+            workers=args.workers,
+            wave_size=args.wave_size,
+        ),
     )
     rows = []
     for name, method_report in report.methods.items():

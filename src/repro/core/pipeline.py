@@ -27,6 +27,7 @@ from repro.core.index import LinearCountProvider, MASTIndex, STCountProvider
 from repro.core.sampler import HierarchicalMultiAgentSampler, SamplingResult
 from repro.data.frame import PointCloudFrame
 from repro.data.sequence import FrameSequence
+from repro.inference import DetectionStore, InferenceEngine
 from repro.models.base import DetectionModel
 from repro.query.ast import (
     AggregateQuery,
@@ -66,9 +67,22 @@ def predictor_kind(config: MASTConfig, query) -> str:
 class MASTPipeline:
     """Sampling + indexing + query processing in one object."""
 
-    def __init__(self, config: MASTConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MASTConfig | None = None,
+        *,
+        engine: InferenceEngine | None = None,
+        detection_store: DetectionStore | None = None,
+    ) -> None:
         self.config = config or MASTConfig()
         self.ledger = CostLedger()
+        # Detection execution: a caller-provided engine is borrowed; when
+        # only a store (or nothing) is given, the pipeline owns an engine
+        # built from its config and closes it in close().
+        self._owns_engine = engine is None
+        self.engine = engine or InferenceEngine.from_config(
+            self.config, store=detection_store
+        )
         self._sequence: FrameSequence | None = None
         self._model: DetectionModel | None = None
         self._sampling: SamplingResult | None = None
@@ -91,7 +105,9 @@ class MASTPipeline:
         self._sequence = sequence
         self._model = model
         sampler = HierarchicalMultiAgentSampler(self.config)
-        self._sampling = sampler.sample(sequence, model, ledger=self.ledger)
+        self._sampling = sampler.sample(
+            sequence, model, ledger=self.ledger, engine=self.engine
+        )
         self._rebuild_index()
         return self
 
@@ -137,7 +153,9 @@ class MASTPipeline:
             fps=extended.fps,
             name=f"{extended.name}-tail",
         )
-        tail_result = sampler.sample(tail, model, ledger=self.ledger)
+        tail_result = sampler.sample(
+            tail, model, ledger=self.ledger, engine=self.engine
+        )
 
         merged_ids = np.union1d(
             self._sampling.sampled_ids, tail_result.sampled_ids + old_n - 1
@@ -326,3 +344,17 @@ class MASTPipeline:
     def cost_summary(self) -> dict[str, float]:
         """Stage -> seconds (simulated + measured) so far."""
         return self.ledger.summary()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the owned inference engine (no-op for borrowed ones)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> MASTPipeline:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

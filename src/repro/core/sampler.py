@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import bisect
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,9 +26,10 @@ from repro.core.segment_tree import SegmentTree
 from repro.core.stpc import analyze_pair
 from repro.data.annotations import ObjectArray
 from repro.data.sequence import FrameSequence
+from repro.inference import InferenceEngine
 from repro.models.base import DetectionModel
 from repro.utils.rng import ensure_rng
-from repro.utils.timing import STAGE_MODEL, STAGE_POLICY, CostLedger
+from repro.utils.timing import STAGE_POLICY, CostLedger
 from repro.utils.validation import require, require_in
 
 __all__ = ["SamplingResult", "BaseSampler", "HierarchicalMultiAgentSampler", "uniform_ids"]
@@ -105,10 +107,28 @@ class BaseSampler(ABC):
         model: DetectionModel,
         *,
         ledger: CostLedger | None = None,
+        engine: InferenceEngine | None = None,
     ) -> SamplingResult:
-        """Select and process ``budget`` frames of ``sequence``."""
+        """Select and process ``budget`` frames of ``sequence``.
+
+        ``engine`` supplies the detection executor and (optionally) a
+        shared detection store; ``None`` builds a private engine from
+        the sampler's config for the duration of the run.
+        """
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def _inference(self, engine: InferenceEngine | None):
+        """Yield ``engine``, or a config-derived engine owned by the run."""
+        if engine is not None:
+            yield engine
+            return
+        engine = InferenceEngine.from_config(self.config)
+        try:
+            yield engine
+        finally:
+            engine.close()
+
     def _detect(
         self,
         sequence: FrameSequence,
@@ -116,12 +136,26 @@ class BaseSampler(ABC):
         model: DetectionModel,
         detections: dict[int, ObjectArray],
         ledger: CostLedger,
+        engine: InferenceEngine,
     ) -> ObjectArray:
         """Run the deep model on one frame, charging its simulated cost."""
-        if frame_id not in detections:
-            ledger.charge(STAGE_MODEL, model.cost_per_frame)
-            detections[frame_id] = model.detect(sequence[frame_id]).objects
-        return detections[frame_id]
+        return engine.detect_one(
+            sequence, frame_id, model, ledger=ledger, known=detections
+        )
+
+    def _detect_wave(
+        self,
+        sequence: FrameSequence,
+        frame_ids,
+        model: DetectionModel,
+        detections: dict[int, ObjectArray],
+        ledger: CostLedger,
+        engine: InferenceEngine,
+    ) -> None:
+        """Detect a wave of frames into ``detections`` (skipping knowns)."""
+        engine.detect_wave(
+            sequence, frame_ids, model, ledger=ledger, known=detections
+        )
 
     def _uniform_phase(
         self,
@@ -129,12 +163,12 @@ class BaseSampler(ABC):
         model: DetectionModel,
         budget: int,
         ledger: CostLedger,
+        engine: InferenceEngine,
     ) -> tuple[list[int], dict[int, ObjectArray]]:
-        """Detect the uniform pass and return (sorted ids, detections)."""
+        """Detect the uniform pass (one wave) and return (ids, detections)."""
         detections: dict[int, ObjectArray] = {}
         ids = uniform_ids(len(sequence), budget)
-        for frame_id in ids:
-            self._detect(sequence, int(frame_id), model, detections, ledger)
+        self._detect_wave(sequence, ids, model, detections, ledger, engine)
         return [int(i) for i in ids], detections
 
     def _adaptive_reward(
@@ -219,6 +253,17 @@ class HierarchicalMultiAgentSampler(BaseSampler):
         model: DetectionModel,
         *,
         ledger: CostLedger | None = None,
+        engine: InferenceEngine | None = None,
+    ) -> SamplingResult:
+        with self._inference(engine) as engine:
+            return self._sample(sequence, model, ledger, engine)
+
+    def _sample(
+        self,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        ledger: CostLedger | None,
+        engine: InferenceEngine,
     ) -> SamplingResult:
         config = self.config
         ledger = ledger if ledger is not None else CostLedger()
@@ -227,7 +272,7 @@ class HierarchicalMultiAgentSampler(BaseSampler):
         uniform_budget = config.uniform_budget_for(budget)
 
         sampled, detections = self._uniform_phase(
-            sequence, model, uniform_budget, ledger
+            sequence, model, uniform_budget, ledger, engine
         )
         if len(sampled) < 2:
             # Degenerate sequence (single frame): nothing to adapt over.
@@ -254,22 +299,41 @@ class HierarchicalMultiAgentSampler(BaseSampler):
         sampled_set = set(sampled)
         rewards: list[float] = []
         remaining = budget - len(sampled)
+        # Each adaptive round selects a wave of up to ``wave_size`` leaves
+        # (UCB statistics frozen within the round), submits the whole
+        # candidate set to the inference engine so pool workers overlap,
+        # then scores and records the rewards in selection order.  A wave
+        # of 1 is exactly the paper's sequential Alg. 2.
         while remaining > 0:
+            wave: list[tuple[list, int]] = []
+            pending: set[int] = set()
             with ledger.measure(STAGE_POLICY):
-                selection = tree.select(sampled_set.__contains__)
-            if selection is None:
-                break  # every segment exhausted (budget ~ sequence length)
-            path, frame_id = selection
-            actual = self._detect(sequence, frame_id, model, detections, ledger)
-            with ledger.measure(STAGE_POLICY):
-                reward = self._adaptive_reward(
-                    sequence, sampled, detections, frame_id, actual, self.reward_kind
-                )
-                tree.record(path, frame_id, reward)
-                bisect.insort(sampled, frame_id)
-                sampled_set.add(frame_id)
-                rewards.append(reward)
-            remaining -= 1
+                while len(wave) < min(config.wave_size, remaining):
+                    selection = tree.select(
+                        lambda f: f in sampled_set or f in pending
+                    )
+                    if selection is None:
+                        break  # every segment exhausted (budget ~ length)
+                    path, frame_id = selection
+                    pending.add(frame_id)
+                    wave.append((path, frame_id))
+            if not wave:
+                break
+            self._detect_wave(
+                sequence, [fid for _, fid in wave], model, detections, ledger, engine
+            )
+            for path, frame_id in wave:
+                actual = detections[frame_id]
+                with ledger.measure(STAGE_POLICY):
+                    reward = self._adaptive_reward(
+                        sequence, sampled, detections, frame_id, actual,
+                        self.reward_kind,
+                    )
+                    tree.record(path, frame_id, reward)
+                    bisect.insort(sampled, frame_id)
+                    sampled_set.add(frame_id)
+                    rewards.append(reward)
+                remaining -= 1
 
         return SamplingResult(
             sequence_name=sequence.name,

@@ -240,8 +240,12 @@ def analyze_pair(
     )
     velocities = np.zeros((len(objects_start), 2))
     dt = t_end - t_start
-    for i, j in pairs:
-        velocities[i] = (objects_end.centers[j, :2] - objects_start.centers[i, :2]) / dt
+    if pairs:
+        rows = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+        cols = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+        velocities[rows] = (
+            objects_end.centers[cols, :2] - objects_start.centers[rows, :2]
+        ) / dt
     return MotionEstimate(
         objects_start=objects_start,
         objects_end=objects_end,

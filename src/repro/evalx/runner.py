@@ -24,6 +24,7 @@ from repro.core.index import LinearCountProvider, MASTIndex, STCountProvider
 from repro.core.sampler import SamplingResult
 from repro.data.sequence import FrameSequence
 from repro.evalx.metrics import aggregate_accuracy, f1_score
+from repro.inference import DetectionStore, InferenceEngine
 from repro.models.base import DetectionModel
 from repro.query.ast import AggregateQuery, CompoundRetrievalQuery, RetrievalQuery
 from repro.query.engine import QueryEngine
@@ -110,6 +111,7 @@ class MethodExecutor:
         config: MASTConfig,
         *,
         oracle_provider: OracleCountProvider | None = None,
+        engine: InferenceEngine | None = None,
     ) -> None:
         self.spec = spec
         self.ledger = CostLedger()
@@ -117,18 +119,20 @@ class MethodExecutor:
 
         if spec.is_oracle:
             provider = oracle_provider or OracleCountProvider(
-                sequence, model, ledger=self.ledger
+                sequence, model, ledger=self.ledger, engine=engine
             )
             if oracle_provider is not None:
                 self.ledger.merge(oracle_provider.ledger)
-            engine = QueryEngine(provider, ledger=self.ledger)
-            self._retrieval_engine = engine
+            query_engine = QueryEngine(provider, ledger=self.ledger)
+            self._retrieval_engine = query_engine
             self._engines_by_operator = {}
-            self._default_engine = engine
+            self._default_engine = query_engine
             return
 
         sampler = spec.make_sampler(config)
-        self.sampling = sampler.sample(sequence, model, ledger=self.ledger)
+        self.sampling = sampler.sample(
+            sequence, model, ledger=self.ledger, engine=engine
+        )
 
         st_engine = None
         if spec.needs_st_index():
@@ -168,12 +172,48 @@ def run_experiment(
     *,
     methods: tuple[MethodSpec, ...] = PAPER_METHODS,
     config: MASTConfig | None = None,
+    engine: InferenceEngine | None = None,
+    detection_store: DetectionStore | None = None,
 ) -> ExperimentReport:
-    """Run ``methods`` on ``sequence`` and score them against the Oracle."""
+    """Run ``methods`` on ``sequence`` and score them against the Oracle.
+
+    ``engine`` (or a fresh engine wrapping ``detection_store``) is shared
+    by every method's detection passes.  With a store attached, frames
+    already detected by an earlier method — or an earlier ``run_experiment``
+    call — are served from the store and **not** re-charged to the
+    method's ledger, so only pass one when comparing wall-clock cost
+    rather than per-method simulated budgets.
+    """
     config = config or MASTConfig()
 
+    owned_engine: InferenceEngine | None = None
+    if engine is None and detection_store is not None:
+        engine = owned_engine = InferenceEngine.from_config(
+            config, store=detection_store
+        )
+    try:
+        return _run_experiment(
+            sequence, model, workload,
+            methods=methods, config=config, engine=engine,
+        )
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
+
+
+def _run_experiment(
+    sequence: FrameSequence,
+    model: DetectionModel,
+    workload: QueryWorkload,
+    *,
+    methods: tuple[MethodSpec, ...],
+    config: MASTConfig,
+    engine: InferenceEngine | None,
+) -> ExperimentReport:
     oracle_ledger = CostLedger()
-    oracle_provider = OracleCountProvider(sequence, model, ledger=oracle_ledger)
+    oracle_provider = OracleCountProvider(
+        sequence, model, ledger=oracle_ledger, engine=engine
+    )
     oracle_engine = QueryEngine(oracle_provider, ledger=oracle_ledger)
 
     # Oracle answers; drop zero-cardinality retrieval queries (§7.1).
@@ -196,6 +236,7 @@ def run_experiment(
             model,
             config,
             oracle_provider=oracle_provider if spec.is_oracle else None,
+            engine=engine,
         )
         report = MethodReport(
             method=spec.name,

@@ -46,6 +46,11 @@ def hungarian(cost: np.ndarray) -> list[tuple[int, int]]:
     if n > m:
         pairs = hungarian(cost.T)
         return sorted((row, col) for col, row in pairs)
+    if n == 1:
+        # Single row: the optimum is the cheapest column.  ``argmin``
+        # returns the first minimum, matching the full algorithm's
+        # strict-improvement tie-breaking.
+        return [(0, int(np.argmin(cost[0])))]
 
     # Potentials formulation (1-indexed), after the classic e-maxx/CP
     # presentation.  u/v are the dual potentials, p[j] is the row matched
@@ -99,17 +104,46 @@ def match_with_threshold(
 ) -> tuple[list[tuple[int, int]], list[int], list[int]]:
     """Hungarian matching with optional cost gating.
 
-    Runs :func:`hungarian` and then drops pairs whose cost exceeds
-    ``max_cost`` (if given).  Returns ``(pairs, unmatched_rows,
-    unmatched_cols)`` — the decomposition Alg. 1 needs to assign
-    velocities to matched boxes and handle disappearing/appearing ones.
+    With ``max_cost`` set, entries above the gate (or non-finite — an
+    explicit "cannot match" marker) are treated as infeasible *before*
+    the assignment: rows/columns with no feasible partner are pruned,
+    and the remaining infeasible entries are masked to a finite sentinel
+    large enough that the optimum never prefers one over any feasible
+    assignment.  Pairs landing on a sentinel are dropped afterwards.
+    Returns ``(pairs, unmatched_rows, unmatched_cols)`` — the
+    decomposition Alg. 1 needs to assign velocities to matched boxes and
+    handle disappearing/appearing ones.
     """
     cost = np.asarray(cost, dtype=float)
-    pairs = hungarian(cost)
-    if max_cost is not None:
-        pairs = [(i, j) for i, j in pairs if cost[i, j] <= max_cost]
+    if max_cost is not None and cost.size:
+        pairs = _gated_pairs(cost, float(max_cost))
+    else:
+        pairs = hungarian(cost)
     matched_rows = {i for i, _ in pairs}
     matched_cols = {j for _, j in pairs}
     unmatched_rows = [i for i in range(cost.shape[0]) if i not in matched_rows]
     unmatched_cols = [j for j in range(cost.shape[1]) if j not in matched_cols]
     return pairs, unmatched_rows, unmatched_cols
+
+
+def _gated_pairs(cost: np.ndarray, max_cost: float) -> list[tuple[int, int]]:
+    """Assignment pairs whose cost passes the gate, via sentinel masking."""
+    feasible = np.isfinite(cost) & (cost <= max_cost)
+    if not feasible.any():
+        return []
+    rows = np.flatnonzero(feasible.any(axis=1))
+    cols = np.flatnonzero(feasible.any(axis=0))
+    sub_feasible = feasible[np.ix_(rows, cols)]
+    sub = cost[np.ix_(rows, cols)].copy()
+    # A sentinel so large that swapping any feasible pair for a sentinel
+    # pair always raises the total: one sentinel outweighs the span of
+    # min(n, m) feasible entries.
+    lo = float(sub[sub_feasible].min())
+    span = abs(max_cost) + abs(lo) + 1.0
+    sentinel = min(len(rows), len(cols)) * span + 1.0
+    sub[~sub_feasible] = sentinel
+    return sorted(
+        (int(rows[i]), int(cols[j]))
+        for i, j in hungarian(sub)
+        if sub_feasible[i, j]
+    )

@@ -1,0 +1,49 @@
+"""Parallel inference engine for deep-model detection.
+
+The sampling phase dominates MAST's end-to-end cost: every sampled frame
+pays a deep-detector invocation, and repeated benchmark sweeps pay it
+again for frames they have already seen.  This package factors detection
+execution out of the samplers into one engine:
+
+* :mod:`repro.inference.executors` — pluggable execution strategies
+  (serial, thread pool, process pool with chunked ``detect_many``
+  batches) behind a single :class:`DetectionExecutor` interface;
+* :mod:`repro.inference.store` — a bounded, content-keyed
+  :class:`DetectionStore` memoizing raw detections across samplers,
+  baselines and experiment sweeps, with optional on-disk persistence;
+* :mod:`repro.inference.engine` — :class:`InferenceEngine`, which takes
+  *waves* of frame ids from the samplers, answers what it can from the
+  store, fans the rest over the executor, and charges the cost ledger
+  (cache hits are never billed as model invocations).
+"""
+
+from repro.inference.engine import InferenceEngine, PacedModel
+from repro.inference.executors import (
+    DetectionExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.inference.store import (
+    DetectionKey,
+    DetectionStore,
+    StoreStats,
+    detection_key,
+    model_fingerprint,
+)
+
+__all__ = [
+    "InferenceEngine",
+    "PacedModel",
+    "DetectionExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "DetectionKey",
+    "DetectionStore",
+    "StoreStats",
+    "detection_key",
+    "model_fingerprint",
+]

@@ -11,8 +11,6 @@ simulated deep models, as a classical baseline should be.
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 from repro.data.annotations import ObjectArray
@@ -22,9 +20,10 @@ from repro.simulation.world import GROUND_Z
 
 __all__ = ["ClusteringDetector"]
 
-_NEIGHBOR_OFFSETS = [
-    (dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1) if (dx, dy) != (0, 0)
-]
+#: Half of the 8-neighborhood; the other half is covered by symmetry
+#: (an edge found from cell a to cell b is the same component merge as
+#: the reverse edge from b to a).
+_HALF_NEIGHBORHOOD = ((0, 1), (1, -1), (1, 0), (1, 1))
 
 
 class ClusteringDetector(DetectionModel):
@@ -68,70 +67,100 @@ class ClusteringDetector(DetectionModel):
             return ObjectArray.empty()
 
         cells = np.floor(above_ground[:, :2] / self.cell_size).astype(np.int64)
-        cell_to_points: dict[tuple[int, int], list[int]] = {}
-        for idx, (cx, cy) in enumerate(map(tuple, cells)):
-            cell_to_points.setdefault((cx, cy), []).append(idx)
+        point_comp, n_components = self._grid_components(cells)
 
-        labels_out: list[str] = []
-        boxes_c: list[np.ndarray] = []
-        boxes_s: list[np.ndarray] = []
-        scores: list[float] = []
+        # Group the points of each component contiguously.  The sort is
+        # stable, so within a group the original point indices stay
+        # ascending and the group's first element is its earliest point.
+        order = np.argsort(point_comp, kind="stable")
+        sorted_points = above_ground[order]
+        starts = np.flatnonzero(
+            np.r_[True, np.diff(point_comp[order]) != 0]
+        )
+        counts = np.diff(np.r_[starts, len(order)])
+        low = np.minimum.reduceat(sorted_points, starts, axis=0)
+        high = np.maximum.reduceat(sorted_points, starts, axis=0)
+        first_point = order[starts]
 
-        visited: set[tuple[int, int]] = set()
-        for start in cell_to_points:
-            if start in visited:
-                continue
-            component = self._flood_fill(start, cell_to_points, visited)
-            point_idx = np.concatenate([cell_to_points[c] for c in component])
-            if len(point_idx) < self.min_points:
-                continue
-            cluster = above_ground[point_idx]
-            low = cluster.min(axis=0)
-            high = cluster.max(axis=0)
-            size = np.maximum(high - low, 0.2)
-            if size[0] > self.max_footprint or size[1] > self.max_footprint:
-                continue  # building-sized blob, not an object
-            center = (low + high) / 2.0
-            # Extend the box to the ground: LiDAR only hits upper surfaces.
-            bottom = GROUND_Z
-            height = max(high[2] - bottom, 0.3)
-            center[2] = bottom + height / 2.0
-            size[2] = height
-            labels_out.append(self._classify(size))
-            boxes_c.append(center)
-            boxes_s.append(size)
-            scores.append(min(1.0, 0.3 + 0.02 * len(point_idx)))
-
-        if not labels_out:
+        sizes = np.maximum(high - low, 0.2)
+        keep = (
+            (counts >= self.min_points)
+            & (sizes[:, 0] <= self.max_footprint)  # building-sized blobs
+            & (sizes[:, 1] <= self.max_footprint)  # are not objects
+        )
+        if not keep.any():
             return ObjectArray.empty()
+        # Emit components in discovery order of the old BFS: by the
+        # earliest original point index they contain.
+        emit = np.flatnonzero(keep)[np.argsort(first_point[keep], kind="stable")]
+
+        low, high, sizes, counts = low[emit], high[emit], sizes[emit], counts[emit]
+        centers = (low + high) / 2.0
+        # Extend the box to the ground: LiDAR only hits upper surfaces.
+        heights = np.maximum(high[:, 2] - GROUND_Z, 0.3)
+        centers[:, 2] = GROUND_Z + heights / 2.0
+        sizes[:, 2] = heights
+
+        footprints = np.maximum(sizes[:, 0], sizes[:, 1])
+        labels = np.select(
+            [
+                footprints > 6.0,
+                footprints > 2.6,
+                (sizes[:, 2] > 1.4) & (footprints < 1.2),
+            ],
+            ["Truck", "Car", "Pedestrian"],
+            default="Cyclist",
+        ).astype("<U16")
         return ObjectArray(
-            labels=np.asarray(labels_out, dtype="<U16"),
-            centers=np.stack(boxes_c),
-            sizes=np.stack(boxes_s),
-            yaws=np.zeros(len(labels_out)),
-            scores=np.asarray(scores),
+            labels=labels,
+            centers=centers,
+            sizes=sizes,
+            yaws=np.zeros(len(emit)),
+            scores=np.minimum(1.0, 0.3 + 0.02 * counts),
         )
 
     @staticmethod
-    def _flood_fill(
-        start: tuple[int, int],
-        occupancy: dict[tuple[int, int], list[int]],
-        visited: set[tuple[int, int]],
-    ) -> list[tuple[int, int]]:
-        """8-connected component of occupied BEV cells containing ``start``."""
-        queue = deque([start])
-        visited.add(start)
-        component = []
-        while queue:
-            cell = queue.popleft()
-            component.append(cell)
-            cx, cy = cell
-            for dx, dy in _NEIGHBOR_OFFSETS:
-                neighbor = (cx + dx, cy + dy)
-                if neighbor in occupancy and neighbor not in visited:
-                    visited.add(neighbor)
-                    queue.append(neighbor)
-        return component
+    def _grid_components(cells: np.ndarray) -> tuple[np.ndarray, int]:
+        """8-connected components of occupied BEV cells.
+
+        Returns a per-point component id and the component count.  Cells
+        are mapped to collision-free linear keys, neighbor edges come
+        from four ``searchsorted`` probes (half the neighborhood; the
+        rest by symmetry), and a small union-find merges the occupied
+        cells — the per-point work is entirely vectorized.
+        """
+        sx = cells[:, 0] - cells[:, 0].min()
+        # Reserve one empty column on each side of the occupied band so
+        # a dy = ±1 probe can never alias into an adjacent x-row.
+        sy = cells[:, 1] - cells[:, 1].min() + 1
+        width = int(sy.max()) + 2
+        keys, inverse = np.unique(sx * width + sy, return_inverse=True)
+        inverse = inverse.ravel()
+        n_cells = len(keys)
+
+        parent = list(range(n_cells))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for dx, dy in _HALF_NEIGHBORHOOD:
+            targets = keys + (dx * width + dy)
+            pos = np.searchsorted(keys, targets)
+            pos_clipped = np.minimum(pos, n_cells - 1)
+            valid = (pos < n_cells) & (keys[pos_clipped] == targets)
+            for a, b in zip(np.flatnonzero(valid), pos_clipped[valid]):
+                ra, rb = find(int(a)), find(int(b))
+                if ra != rb:
+                    parent[rb] = ra
+
+        roots = np.fromiter(
+            (find(c) for c in range(n_cells)), dtype=np.int64, count=n_cells
+        )
+        _, compact = np.unique(roots, return_inverse=True)
+        return compact.ravel()[inverse], int(compact.max()) + 1
 
     @staticmethod
     def _classify(size: np.ndarray) -> str:

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.annotations import ObjectArray
-from repro.geometry.transforms import rotation_matrix_2d
 from repro.simulation.world import GROUND_Z
 from repro.utils.rng import derive_rng
 from repro.utils.validation import require_non_negative, require_positive
@@ -70,19 +69,19 @@ class LidarSensor:
         cfg = self.config
         if not len(objects):
             return np.zeros((0, 3))
-        clouds = []
         distances = objects.distances_to_origin()
-        for i in range(len(objects)):
-            n_points = max(
-                cfg.min_points_per_object,
-                int(cfg.points_per_object / (1.0 + distances[i] / cfg.density_falloff)),
-            )
-            clouds.append(
-                _box_surface_points(
-                    objects.centers[i], objects.sizes[i], objects.yaws[i], n_points, rng
-                )
-            )
-        return np.concatenate(clouds)
+        n_points = np.maximum(
+            cfg.min_points_per_object,
+            (cfg.points_per_object / (1.0 + distances / cfg.density_falloff)).astype(
+                np.int64
+            ),
+        )
+        # One flat draw for all objects; ``owner`` maps each point back
+        # to the box it samples.
+        owner = np.repeat(np.arange(len(objects)), n_points)
+        return _box_surface_points(
+            objects.centers[owner], objects.sizes[owner], objects.yaws[owner], rng
+        )
 
     def _ground_points(self, rng: np.random.Generator) -> np.ndarray:
         cfg = self.config
@@ -101,23 +100,29 @@ class LidarSensor:
 
 
 def _box_surface_points(
-    center: np.ndarray,
-    size: np.ndarray,
-    yaw: float,
-    n_points: int,
+    centers: np.ndarray,
+    sizes: np.ndarray,
+    yaws: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Sample points on the surface of an oriented box.
+    """Sample points on the surfaces of oriented boxes, one row per point.
 
-    Points are drawn uniformly inside the box, then each is pushed to one
-    of the box faces (chosen per point), approximating LiDAR returns on
-    the object shell.
+    ``centers``/``sizes``/``yaws`` are already expanded per point (the
+    caller repeats each box by its point count).  Points are drawn
+    uniformly inside their box, then each is pushed to one of the box
+    faces (chosen per point), approximating LiDAR returns on the object
+    shell.
     """
-    local = (rng.random((n_points, 3)) - 0.5) * size
-    half = size / 2.0
+    n_points = len(centers)
+    local = (rng.random((n_points, 3)) - 0.5) * sizes
+    half = sizes / 2.0
+    rows = np.arange(n_points)
     face_axis = rng.integers(0, 3, n_points)
     face_sign = rng.choice([-1.0, 1.0], n_points)
-    local[np.arange(n_points), face_axis] = face_sign * half[face_axis]
-    rot = rotation_matrix_2d(yaw)
-    xy = local[:, :2] @ rot.T
-    return np.column_stack([xy, local[:, 2]]) + center
+    local[rows, face_axis] = face_sign * half[rows, face_axis]
+    cos, sin = np.cos(yaws), np.sin(yaws)
+    x, y = local[:, 0], local[:, 1]
+    return (
+        np.column_stack([cos * x - sin * y, sin * x + cos * y, local[:, 2]])
+        + centers
+    )

@@ -118,6 +118,22 @@ class CostLedger:
         stages = sorted(set(self.simulated) | set(self.measured))
         return {stage: self.total(stage) for stage in stages}
 
+    def invocations(self, stage: str) -> int:
+        """Number of charged invocations of ``stage``.
+
+        Cache hits served by a detection store never call
+        :meth:`charge`, so they do not count — the counter is the
+        number of *actual* (simulated) model runs.
+        """
+        return self.counts.get(stage, 0)
+
+    def cache_hit_rate(self, stage: str) -> float:
+        """Fraction of ``stage`` cache lookups that hit (NaN if none)."""
+        hits = self.cache_hits.get(stage, 0)
+        misses = self.cache_misses.get(stage, 0)
+        lookups = hits + misses
+        return hits / lookups if lookups else float("nan")
+
     def cache_summary(self) -> dict[str, dict[str, int]]:
         """Stage -> ``{"hits": ..., "misses": ...}`` for stages with lookups."""
         stages = sorted(set(self.cache_hits) | set(self.cache_misses))

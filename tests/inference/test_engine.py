@@ -1,0 +1,172 @@
+"""Engine accounting: executor interchangeability and ledger semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    DetectionStore,
+    InferenceEngine,
+    PacedModel,
+    SerialExecutor,
+    make_executor,
+)
+from repro.models import pv_rcnn
+from repro.utils.timing import STAGE_MODEL, CostLedger
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    from repro.simulation import semantickitti_like
+
+    return semantickitti_like(0, n_frames=40, with_points=False)
+
+
+@pytest.fixture(scope="module")
+def sequence_points():
+    from repro.simulation import semantickitti_like
+
+    return semantickitti_like(0, n_frames=8)
+
+
+def detections_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for frame_id in a:
+        assert np.array_equal(a[frame_id].labels, b[frame_id].labels)
+        assert np.array_equal(a[frame_id].centers, b[frame_id].centers)
+        assert np.array_equal(a[frame_id].scores, b[frame_id].scores)
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_outputs_match_serial(self, kind, sequence):
+        model = pv_rcnn(seed=5)
+        frames = [sequence[i] for i in range(12)]
+        expected = SerialExecutor().run(model, frames)
+        with make_executor(kind, workers=2) as executor:
+            outputs = executor.run(model, frames)
+        assert len(outputs) == len(expected)
+        for ours, ref in zip(outputs, expected):
+            assert np.array_equal(ours.labels, ref.labels)
+            assert np.array_equal(ours.centers, ref.centers)
+            assert np.array_equal(ours.scores, ref.scores)
+
+    def test_process_executor_materializes_lazy_points(self, sequence_points):
+        from repro.models.clustering import ClusteringDetector
+
+        model = ClusteringDetector()
+        frames = [sequence_points[i] for i in range(4)]
+        expected = SerialExecutor().run(model, frames)
+        with make_executor("process", workers=2) as executor:
+            outputs = executor.run(model, frames)
+        for ours, ref in zip(outputs, expected):
+            assert np.array_equal(ours.centers, ref.centers)
+
+    def test_empty_wave(self):
+        with make_executor("thread", workers=2) as executor:
+            assert executor.run(pv_rcnn(), []) == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_executor("thread", workers=-1)
+
+
+class TestEngineLedger:
+    def test_miss_charges_per_frame(self, sequence):
+        model = pv_rcnn(seed=5)
+        ledger = CostLedger()
+        with InferenceEngine(store=DetectionStore()) as engine:
+            engine.detect_wave(sequence, [0, 3, 7], model, ledger=ledger)
+        assert ledger.invocations(STAGE_MODEL) == 3
+        assert ledger.simulated[STAGE_MODEL] == pytest.approx(3 * model.cost_per_frame)
+        assert ledger.cache_misses[STAGE_MODEL] == 3
+        assert ledger.cache_hits[STAGE_MODEL] == 0
+
+    def test_hit_is_never_an_invocation(self, sequence):
+        model = pv_rcnn(seed=5)
+        store = DetectionStore()
+        with InferenceEngine(store=store) as engine:
+            engine.detect_wave(sequence, [0, 3, 7], model, ledger=CostLedger())
+            warm = CostLedger()
+            result = engine.detect_wave(sequence, [0, 3, 7], model, ledger=warm)
+        assert sorted(result) == [0, 3, 7]
+        assert warm.invocations(STAGE_MODEL) == 0
+        assert warm.simulated.get(STAGE_MODEL, 0.0) == 0.0
+        assert warm.cache_hits[STAGE_MODEL] == 3
+        assert warm.cache_hit_rate(STAGE_MODEL) == 1.0
+
+    def test_known_frames_skip_lookup_and_charge(self, sequence):
+        model = pv_rcnn(seed=5)
+        ledger = CostLedger()
+        with InferenceEngine(store=DetectionStore()) as engine:
+            known = engine.detect_wave(sequence, [0, 1], model, ledger=ledger)
+            engine.detect_wave(sequence, [0, 1, 2], model, ledger=ledger, known=known)
+        assert ledger.invocations(STAGE_MODEL) == 3
+        assert ledger.cache_hits[STAGE_MODEL] + ledger.cache_misses[STAGE_MODEL] == 3
+        assert sorted(known) == [0, 1, 2]
+
+    def test_without_store_every_frame_executes(self, sequence):
+        model = pv_rcnn(seed=5)
+        ledger = CostLedger()
+        with InferenceEngine() as engine:
+            engine.detect_wave(sequence, [4, 4, 5], model, ledger=ledger)
+        assert ledger.invocations(STAGE_MODEL) == 2  # in-wave dedup
+        assert ledger.cache_hits[STAGE_MODEL] == 0
+        assert ledger.cache_misses[STAGE_MODEL] == 0
+
+    def test_store_results_identical_to_direct(self, sequence):
+        model = pv_rcnn(seed=5)
+        with InferenceEngine() as direct_engine:
+            direct = direct_engine.detect_wave(sequence, range(10), model)
+        store = DetectionStore()
+        with InferenceEngine(store=store) as engine:
+            cold = engine.detect_wave(sequence, range(10), model)
+            warm = engine.detect_wave(sequence, range(10), model)
+        detections_equal(direct, cold)
+        detections_equal(direct, warm)
+
+    def test_detect_one(self, sequence):
+        model = pv_rcnn(seed=5)
+        with InferenceEngine() as engine:
+            known = {}
+            first = engine.detect_one(sequence, 3, model, known=known)
+            again = engine.detect_one(sequence, 3, model, known=known)
+        assert first is again
+
+    def test_store_stats_exposed(self, sequence):
+        with InferenceEngine(store=DetectionStore()) as engine:
+            engine.detect_wave(sequence, [0], pv_rcnn(seed=5))
+            assert engine.store_stats().misses == 1
+        with InferenceEngine() as engine:
+            assert engine.store_stats() is None
+
+
+class TestPacedModel:
+    def test_detections_match_base(self, sequence):
+        base = pv_rcnn(seed=5)
+        paced = PacedModel(base, latency=0.0)
+        ours = paced.detect(sequence[0]).objects
+        ref = base.detect(sequence[0]).objects
+        assert np.array_equal(ours.centers, ref.centers)
+        assert paced.name == base.name
+        assert paced.cost_per_frame == base.cost_per_frame
+        assert paced.num_parameters == base.num_parameters
+
+    def test_shares_store_entries_with_base(self, sequence):
+        base = pv_rcnn(seed=5)
+        store = DetectionStore()
+        with InferenceEngine(store=store) as engine:
+            engine.detect_wave(sequence, [0, 1], PacedModel(base, latency=0.0))
+            warm = CostLedger()
+            engine.detect_wave(sequence, [0, 1], base, ledger=warm)
+        assert warm.cache_hits[STAGE_MODEL] == 2
+        assert warm.invocations(STAGE_MODEL) == 0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            PacedModel(pv_rcnn(), latency=-0.1)

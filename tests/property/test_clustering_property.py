@@ -1,0 +1,154 @@
+"""Property test: vectorized grid clustering vs. the reference BFS.
+
+The :class:`~repro.models.clustering.ClusteringDetector` replaced its
+per-point dict grouping and flood-fill BFS with a vectorized
+unique/searchsorted/union-find kernel.  This test keeps the original
+implementation inline as the executable specification and checks the
+replacement is *bit-identical* on random scenes — same components, same
+boxes, same labels, same emission order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.data.annotations import ObjectArray
+from repro.models.clustering import ClusteringDetector
+from repro.simulation.world import GROUND_Z
+
+_NEIGHBOR_OFFSETS = [
+    (dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1) if (dx, dy) != (0, 0)
+]
+
+
+def _flood_fill(start, occupancy, visited):
+    queue = deque([start])
+    visited.add(start)
+    component = []
+    while queue:
+        cell = queue.popleft()
+        component.append(cell)
+        cx, cy = cell
+        for dx, dy in _NEIGHBOR_OFFSETS:
+            neighbor = (cx + dx, cy + dy)
+            if neighbor in occupancy and neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    return component
+
+
+def reference_detect(detector: ClusteringDetector, points: np.ndarray) -> ObjectArray:
+    """The pre-vectorization implementation, verbatim."""
+    if len(points) == 0:
+        return ObjectArray.empty()
+    above_ground = points[points[:, 2] > GROUND_Z + detector.ground_margin]
+    if len(above_ground) < detector.min_points:
+        return ObjectArray.empty()
+
+    cells = np.floor(above_ground[:, :2] / detector.cell_size).astype(np.int64)
+    cell_to_points: dict[tuple[int, int], list[int]] = {}
+    for idx, (cx, cy) in enumerate(map(tuple, cells)):
+        cell_to_points.setdefault((cx, cy), []).append(idx)
+
+    labels_out, boxes_c, boxes_s, scores = [], [], [], []
+    visited: set[tuple[int, int]] = set()
+    for start in cell_to_points:
+        if start in visited:
+            continue
+        component = _flood_fill(start, cell_to_points, visited)
+        point_idx = np.concatenate([cell_to_points[c] for c in component])
+        if len(point_idx) < detector.min_points:
+            continue
+        cluster = above_ground[point_idx]
+        low = cluster.min(axis=0)
+        high = cluster.max(axis=0)
+        size = np.maximum(high - low, 0.2)
+        if size[0] > detector.max_footprint or size[1] > detector.max_footprint:
+            continue
+        center = (low + high) / 2.0
+        height = max(high[2] - GROUND_Z, 0.3)
+        center[2] = GROUND_Z + height / 2.0
+        size[2] = height
+        labels_out.append(detector._classify(size))
+        boxes_c.append(center)
+        boxes_s.append(size)
+        scores.append(min(1.0, 0.3 + 0.02 * len(point_idx)))
+
+    if not labels_out:
+        return ObjectArray.empty()
+    return ObjectArray(
+        labels=np.asarray(labels_out, dtype="<U16"),
+        centers=np.stack(boxes_c),
+        sizes=np.stack(boxes_s),
+        yaws=np.zeros(len(labels_out)),
+        scores=np.asarray(scores),
+    )
+
+
+def random_scene(rng: np.random.Generator) -> np.ndarray:
+    """Scattered clutter plus a few dense object-like blobs."""
+    n = int(rng.integers(0, 1500))
+    points = np.column_stack(
+        [
+            rng.uniform(-40, 40, n),
+            rng.uniform(-40, 40, n),
+            rng.uniform(-2.0, 3.0, n),
+        ]
+    )
+    for _ in range(int(rng.integers(0, 8))):
+        center = rng.uniform(-30, 30, 2)
+        k = int(rng.integers(5, 200))
+        blob = np.column_stack(
+            [
+                rng.normal(center[0], 0.8, k),
+                rng.normal(center[1], 0.8, k),
+                rng.uniform(0.0, 2.0, k),
+            ]
+        )
+        points = np.vstack([points, blob])
+    return points
+
+
+class TestClusteringEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_bit_identical_on_random_scenes(self, seed):
+        rng = np.random.default_rng(seed)
+        detector = ClusteringDetector()
+        points = random_scene(rng)
+        new = detector._detect_objects(points)
+        old = reference_detect(detector, points)
+        assert len(new) == len(old)
+        assert np.array_equal(new.labels, old.labels)
+        assert np.array_equal(new.centers, old.centers)
+        assert np.array_equal(new.sizes, old.sizes)
+        assert np.array_equal(new.yaws, old.yaws)
+        assert np.array_equal(new.scores, old.scores)
+
+    @pytest.mark.parametrize(
+        "cell_size,min_points,max_footprint",
+        [(0.3, 3, 6.0), (1.2, 8, 20.0), (0.6, 1, 12.0)],
+    )
+    def test_bit_identical_across_parameters(self, cell_size, min_points, max_footprint):
+        rng = np.random.default_rng(99)
+        detector = ClusteringDetector(
+            cell_size=cell_size, min_points=min_points, max_footprint=max_footprint
+        )
+        for _ in range(8):
+            points = random_scene(rng)
+            new = detector._detect_objects(points)
+            old = reference_detect(detector, points)
+            assert np.array_equal(new.labels, old.labels)
+            assert np.array_equal(new.centers, old.centers)
+            assert np.array_equal(new.sizes, old.sizes)
+            assert np.array_equal(new.scores, old.scores)
+
+    def test_empty_and_degenerate_inputs(self):
+        detector = ClusteringDetector()
+        assert len(detector._detect_objects(np.zeros((0, 3)))) == 0
+        below = np.array([[1.0, 1.0, GROUND_Z - 1.0]] * 10)
+        assert len(detector._detect_objects(below)) == 0
+        sparse = np.array([[0.0, 0.0, 1.0], [30.0, 30.0, 1.0]])
+        assert len(detector._detect_objects(sparse)) == 0

@@ -90,3 +90,57 @@ class TestMatchWithThreshold:
         assert len(pairs) == 2
         assert unmatched_rows == []
         assert len(unmatched_cols) == 2
+
+    def test_gate_accepts_non_finite_markers(self):
+        # inf marks "cannot match" (e.g. label mismatch); with a gate it
+        # is treated as infeasible instead of raising.
+        cost = np.array([[np.inf, 0.4], [0.3, np.inf]])
+        pairs, unmatched_rows, unmatched_cols = match_with_threshold(cost, max_cost=1.0)
+        assert pairs == [(0, 1), (1, 0)]
+        assert unmatched_rows == [] and unmatched_cols == []
+
+    def test_gated_optimum_beats_drop_after_matching(self):
+        # The ungated optimum pairs (0,0)/(1,1) and the gate then kills
+        # (1,1); feasibility-aware matching keeps two cheap pairs.
+        cost = np.array([[0.1, 0.8], [0.7, 5.0]])
+        pairs, unmatched_rows, unmatched_cols = match_with_threshold(cost, max_cost=1.0)
+        assert pairs == [(0, 1), (1, 0)]
+        assert unmatched_rows == [] and unmatched_cols == []
+
+    def test_all_infeasible_matches_nothing(self):
+        cost = np.full((3, 2), 9.0)
+        pairs, unmatched_rows, unmatched_cols = match_with_threshold(cost, max_cost=1.0)
+        assert pairs == []
+        assert unmatched_rows == [0, 1, 2]
+        assert unmatched_cols == [0, 1]
+
+    def test_gated_pairs_all_pass_gate_on_random_instances(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            n, m = rng.integers(1, 10, size=2)
+            cost = rng.normal(size=(n, m)) * 3
+            cost[rng.random(size=(n, m)) < 0.2] = np.inf
+            pairs, unmatched_rows, unmatched_cols = match_with_threshold(
+                cost, max_cost=1.5
+            )
+            assert all(cost[i, j] <= 1.5 for i, j in pairs)
+            assert len(pairs) + len(unmatched_rows) == n
+            assert len(pairs) + len(unmatched_cols) == m
+
+
+class TestSingleRowFastPath:
+    def test_first_minimum_wins_on_ties(self):
+        assert hungarian(np.array([[2.0, 1.0, 1.0]])) == [(0, 1)]
+
+    def test_single_column(self):
+        assert hungarian(np.array([[3.0], [1.0], [2.0]])) == [(1, 0)]
+
+    def test_matches_scipy_on_random_vectors(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            m = int(rng.integers(1, 20))
+            row = rng.normal(size=(1, m))
+            assert hungarian(row) == [(0, int(np.argmin(row[0])))]
+            col = rng.normal(size=(m, 1))
+            pairs = hungarian(col)
+            assert pairs == [(int(np.argmin(col[:, 0])), 0)]

@@ -73,4 +73,4 @@ def test_fig10_oracle_models(table_rows, benchmark):
     sequence = get_sequence("semantickitti", 0)
     model = make_model("second", seed=MODEL_SEED)
     frames = list(sequence[:100])
-    benchmark(lambda: [model.detect(f) for f in frames])
+    benchmark(lambda: [model.detect(f) for f in frames])  # repro: noqa[RPR004] micro-benchmark of raw detector latency; deliberately unledgered

@@ -18,31 +18,52 @@ Quickstart::
     pipeline.fit(sequence, pv_rcnn())
     frames = pipeline.query("SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3")
     average = pipeline.query("SELECT AVG OF COUNT(Car DIST <= 10)")
+
+Top-level names are resolved lazily (PEP 562): importing :mod:`repro`
+(or stdlib-only corners such as :mod:`repro.analysis`) does not pull in
+numpy, so the ``repro lint`` CI gate stays dependency-free and fast.
 """
 
-from repro.core import MASTConfig, MASTIndex, MASTPipeline, SamplingResult
-from repro.data import FrameSequence, ObjectArray, PointCloudDatabase, PointCloudFrame
-from repro.inference import DetectionStore, InferenceEngine
-from repro.query import AggregateQuery, QueryEngine, RetrievalQuery, parse_query
-from repro.serving import QueryService
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "AggregateQuery",
-    "DetectionStore",
-    "FrameSequence",
-    "InferenceEngine",
-    "MASTConfig",
-    "MASTIndex",
-    "MASTPipeline",
-    "ObjectArray",
-    "PointCloudDatabase",
-    "PointCloudFrame",
-    "QueryEngine",
-    "QueryService",
-    "RetrievalQuery",
-    "SamplingResult",
-    "__version__",
-    "parse_query",
-]
+#: Public name -> providing submodule, imported on first attribute access.
+_EXPORTS = {
+    "AggregateQuery": "repro.query",
+    "DetectionStore": "repro.inference",
+    "FrameSequence": "repro.data",
+    "InferenceEngine": "repro.inference",
+    "MASTConfig": "repro.core",
+    "MASTIndex": "repro.core",
+    "MASTPipeline": "repro.core",
+    "ObjectArray": "repro.data",
+    "PointCloudDatabase": "repro.data",
+    "PointCloudFrame": "repro.data",
+    "QueryEngine": "repro.query",
+    "QueryService": "repro.serving",
+    "RetrievalQuery": "repro.query",
+    "SamplingResult": "repro.core",
+    "parse_query": "repro.query",
+}
+
+__all__ = sorted([*_EXPORTS, "__version__"])
+
+
+def __getattr__(name: str) -> Any:
+    if name in _EXPORTS:
+        value = getattr(import_module(_EXPORTS[name]), name)
+        globals()[name] = value
+        return value
+    # ``import repro; repro.core`` — resolve submodules on demand too.
+    try:
+        return import_module(f"repro.{name}")
+    except ModuleNotFoundError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))

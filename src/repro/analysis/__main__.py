@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the numpy-free lint entry point."""
+
+import sys
+
+from repro.analysis.cli import run_lint
+
+if __name__ == "__main__":
+    sys.exit(run_lint(sys.argv[1:]))

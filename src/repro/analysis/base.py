@@ -1,0 +1,103 @@
+"""Core datatypes of the project lint framework.
+
+A *rule* inspects one parsed module at a time and yields *findings*.
+Rules are deliberately file-local and AST-based: they never import the
+code under analysis, never execute it, and never require numpy — so the
+``repro lint`` gate stays fast enough to run before the test suite on
+every push.
+
+Everything in :mod:`repro.analysis` is pure stdlib by design; keep it
+that way when adding rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.imports import ImportMap
+    from repro.analysis.suppressions import Suppression
+
+#: Code used for findings raised by the engine itself (parse failures,
+#: malformed or unjustified suppressions) rather than by a rule.
+ENGINE_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one module.
+
+    ``path`` is the config-root-relative posix path used for reporting
+    and for per-directory rule selection; ``lines`` are the raw source
+    lines (1-indexed via ``line_at``), which rules use for magic-comment
+    annotations such as ``# repro: locked[_lock]``.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    imports: ImportMap
+    suppressions: dict[int, Suppression]
+
+    def line_at(self, lineno: int) -> str:
+        """The 1-indexed source line (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule(ABC):
+    """One project invariant, checked syntactically.
+
+    Subclasses define ``code`` (``RPRnnn``), a short kebab-case ``name``,
+    and a one-line ``rationale`` shown by ``repro lint --list-rules`` and
+    quoted in ``docs/static-analysis.md``.
+    """
+
+    code: str = "RPR999"
+    name: str = "abstract"
+    rationale: str = ""
+
+    @abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``ctx``."""
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.code} ({self.name})>"

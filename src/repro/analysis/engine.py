@@ -1,0 +1,166 @@
+"""The lint engine: walk files, run rules, apply suppressions.
+
+Entry points:
+
+* :func:`lint_source` — lint one module given as a string (what the
+  fixture tests use);
+* :func:`lint_paths` — lint files and directory trees, honouring the
+  per-directory rule configuration.
+
+Findings on a line carrying a matching, justified
+``# repro: noqa[CODE] ...`` comment move to the report's ``suppressed``
+list; malformed suppressions become :data:`~repro.analysis.base.
+ENGINE_CODE` findings that cannot themselves be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import ENGINE_CODE, Finding, ModuleContext, Rule
+from repro.analysis.config import LintConfig
+from repro.analysis.imports import ImportMap
+from repro.analysis.rules import ALL_RULES, make_rules
+from repro.analysis.suppressions import scan_suppressions, suppression_findings
+
+__all__ = ["Report", "lint_paths", "lint_source"]
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "files": self.files,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": [finding.as_dict() for finding in self.suppressed],
+        }
+
+
+def _lint_module(
+    source: str, path: str, rules: list[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    """(active findings, suppressed findings) for one module."""
+    lines = source.splitlines()
+    suppressions = scan_suppressions(source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        finding = Finding(
+            path=path,
+            line=error.lineno or 1,
+            col=(error.offset or 0) + 1,
+            code=ENGINE_CODE,
+            message=f"syntax error: {error.msg}",
+        )
+        return [finding], []
+    ctx = ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=lines,
+        imports=ImportMap.from_tree(tree),
+        suppressions=suppressions,
+    )
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            suppression = suppressions.get(finding.line)
+            if suppression is not None and suppression.covers(finding.code):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    known_codes = {rule.code for rule in ALL_RULES}
+    active.extend(suppression_findings(path, suppressions, known_codes))
+    return active, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: list[Rule] | None = None,
+    config: LintConfig | None = None,
+) -> Report:
+    """Lint one module from source text.
+
+    With ``rules`` given, exactly those run (no per-directory logic) —
+    the mode the fixture tests use.  Otherwise the ``config`` (default:
+    built-in defaults) decides which rules apply to ``path``.
+    """
+    if rules is None:
+        config = config or LintConfig()
+        codes = config.enabled_for(path, [rule.code for rule in ALL_RULES])
+        rules = make_rules(tuple(codes)) if codes else []
+    active, suppressed = _lint_module(source, path, rules)
+    return Report(findings=sorted(active), suppressed=sorted(suppressed), files=1)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, sorted, skipping caches."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.parts
+                ):
+                    files.add(candidate)
+    return sorted(files)
+
+
+def _display_path(file: Path, root: Path) -> str:
+    try:
+        return file.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def lint_paths(
+    paths: list[Path | str], *, config: LintConfig | None = None
+) -> Report:
+    """Lint files/trees under the per-directory configuration."""
+    config = config or LintConfig()
+    root = Path(config.root)
+    report = Report()
+    all_codes = [rule.code for rule in ALL_RULES]
+    rule_cache: dict[tuple[str, ...], list[Rule]] = {}
+    for file in iter_python_files([Path(p) for p in paths]):
+        display = _display_path(file, root)
+        codes = tuple(config.enabled_for(display, all_codes))
+        rules = rule_cache.setdefault(codes, make_rules(codes) if codes else [])
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            report.findings.append(
+                Finding(
+                    path=display,
+                    line=1,
+                    col=1,
+                    code=ENGINE_CODE,
+                    message=f"cannot read file: {error}",
+                )
+            )
+            continue
+        active, suppressed = _lint_module(source, display, rules)
+        report.findings.extend(active)
+        report.suppressed.extend(suppressed)
+        report.files += 1
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

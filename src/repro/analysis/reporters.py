@@ -1,0 +1,29 @@
+"""Lint report rendering: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.analysis.engine import Report
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(report: Report, out: IO[str]) -> None:
+    """One ``path:line:col: CODE message`` line per finding + a summary."""
+    for finding in report.findings:
+        print(finding.format(), file=out)
+    summary = (
+        f"{len(report.findings)} finding"
+        f"{'' if len(report.findings) == 1 else 's'} "
+        f"({len(report.suppressed)} suppressed) in {report.files} file"
+        f"{'' if report.files == 1 else 's'}"
+    )
+    print(summary, file=out)
+
+
+def render_json(report: Report, out: IO[str]) -> None:
+    """The full report as one JSON object."""
+    json.dump(report.as_dict(), out, indent=2, sort_keys=True)
+    print(file=out)

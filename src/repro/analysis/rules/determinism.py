@@ -1,0 +1,98 @@
+"""Determinism rules: RPR001 no-global-rng, RPR005 no-unseeded-rng.
+
+The reproduction's headline guarantee — sampling decisions, detector
+noise, and workload generation are bit-identical across executors,
+caches, and repeat runs — holds because every stochastic component draws
+from an explicitly seeded ``numpy.random.Generator`` threaded through
+:mod:`repro.utils.rng`.  Module-level RNG (``np.random.rand``,
+``random.random``) and unseeded generators both break that chain
+silently: results stay plausible while ceasing to be reproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule
+from repro.analysis.imports import iter_qualified
+
+__all__ = ["NoGlobalRng", "NoUnseededRng"]
+
+#: ``numpy.random`` members that are deterministic plumbing, not
+#: hidden-global-state draws.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _is_global_rng(qualified: str) -> bool:
+    if qualified.startswith("numpy.random."):
+        member = qualified.split(".")[2]
+        return member not in _NUMPY_RANDOM_ALLOWED
+    # The stdlib ``random`` module is forbidden wholesale: even a seeded
+    # ``random.Random`` bypasses the project's Generator plumbing.
+    return qualified == "random" or qualified.startswith("random.")
+
+
+class NoGlobalRng(Rule):
+    code = "RPR001"
+    name = "no-global-rng"
+    rationale = (
+        "all randomness must flow through a seeded numpy Generator "
+        "parameter; module-level RNG state makes runs order-dependent"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, qualified in iter_qualified(ctx.tree, ctx.imports):
+            if qualified in ("numpy.random", "random"):
+                continue
+            if _is_global_rng(qualified):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level RNG '{qualified}'; thread a seeded "
+                    "numpy.random.Generator (see repro.utils.rng) instead",
+                )
+
+
+class NoUnseededRng(Rule):
+    code = "RPR005"
+    name = "no-unseeded-rng"
+    rationale = (
+        "numpy.random.default_rng() without an explicit seed draws OS "
+        "entropy, so two runs of the same experiment diverge"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.resolve(node.func)
+            if qualified != "numpy.random.default_rng":
+                continue
+            seed = node.args[0] if node.args else None
+            if seed is None:
+                for keyword in node.keywords:
+                    if keyword.arg == "seed":
+                        seed = keyword.value
+            if seed is None or (
+                isinstance(seed, ast.Constant) and seed.value is None
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without an explicit seed expression; "
+                    "pass a seed (or a SeedSequence) so the stream is "
+                    "reproducible",
+                )

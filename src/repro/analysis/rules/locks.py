@@ -1,0 +1,187 @@
+"""RPR003 lock-discipline: guarded attributes stay under their lock.
+
+A class opts in by listing its lock-guarded attributes in its docstring,
+one registry line per lock (the ``#`` is optional)::
+
+    # guarded-by: _lock: _entries, _hits, _misses
+
+The rule then requires every read or write of a registered attribute —
+on *any* receiver expression, so ``other.simulated`` in a ``merge`` is
+checked against ``with other._lock`` — to sit lexically inside a
+``with <receiver>.<lock>`` block in the same method.
+
+Two escape hatches, both explicit and reviewable:
+
+* a method whose ``def`` line carries ``# repro: locked[_lock]``
+  declares "caller must hold ``_lock``"; its whole body is treated as
+  locked.  Use for private helpers invoked under the lock
+  (``DetectionStore._insert``).
+* a deliberate unlocked access (e.g. a double-checked fast path) takes a
+  justified ``# repro: noqa[RPR003] ...`` like any other finding.
+
+``__init__`` is exempt: construction happens-before publication, so no
+other thread can observe the partially built object.  Nested functions
+and lambdas are analyzed with *no* locks held — a closure created under
+a lock may run after the lock is released.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule
+
+__all__ = ["LockDiscipline", "parse_registry"]
+
+_GUARD_RE = re.compile(r"#?\s*guarded-by:\s*(\w+)\s*:\s*([\w\s,]+)")
+_LOCKED_RE = re.compile(r"#\s*repro:\s*locked\[(\w+)\]")
+
+
+def parse_registry(docstring: str | None) -> dict[str, str]:
+    """``attribute -> lock name`` parsed from a class docstring."""
+    registry: dict[str, str] = {}
+    if not docstring:
+        return registry
+    for line in docstring.splitlines():
+        match = _GUARD_RE.search(line)
+        if match is None:
+            continue
+        lock = match.group(1)
+        for attribute in match.group(2).split(","):
+            attribute = attribute.strip()
+            if attribute:
+                registry[attribute] = lock
+    return registry
+
+
+def _held_by_annotation(ctx: ModuleContext, func: ast.AST) -> set[tuple[str, str]]:
+    """Locks granted by a ``# repro: locked[...]`` def-line annotation."""
+    line = ctx.line_at(getattr(func, "lineno", 0))
+    return {("self", match) for match in _LOCKED_RE.findall(line)}
+
+
+def _child_expressions(node: ast.AST) -> Iterator[ast.expr]:
+    """Direct child expressions, looking through non-expression wrappers
+    (keywords, comprehension clauses, slices, f-string parts)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            yield child
+        elif isinstance(child, (ast.keyword, ast.comprehension, ast.ExceptHandler)):
+            yield from _child_expressions(child)
+
+
+class LockDiscipline(Rule):
+    code = "RPR003"
+    name = "lock-discipline"
+    rationale = (
+        "attributes listed in a class's '# guarded-by: <lock>:' registry "
+        "may only be touched inside 'with self.<lock>'"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            registry = parse_registry(ast.get_docstring(node))
+            if not registry:
+                continue
+            locks = set(registry.values())
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name == "__init__":
+                    continue
+                held = _held_by_annotation(ctx, item)
+                yield from self._scan_block(ctx, item.body, registry, locks, held)
+
+    # ------------------------------------------------------------------
+    def _scan_block(
+        self,
+        ctx: ModuleContext,
+        statements: list[ast.stmt],
+        registry: dict[str, str],
+        locks: set[str],
+        held: set[tuple[str, str]],
+    ) -> Iterator[Finding]:
+        for statement in statements:
+            yield from self._scan_statement(ctx, statement, registry, locks, held)
+
+    def _scan_statement(
+        self,
+        ctx: ModuleContext,
+        statement: ast.stmt,
+        registry: dict[str, str],
+        locks: set[str],
+        held: set[tuple[str, str]],
+    ) -> Iterator[Finding]:
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            acquired: set[tuple[str, str]] = set()
+            for with_item in statement.items:
+                yield from self._scan_expression(
+                    ctx, with_item.context_expr, registry, held
+                )
+                acquired |= self._acquired_locks(with_item.context_expr, locks)
+            yield from self._scan_block(
+                ctx, statement.body, registry, locks, held | acquired
+            )
+            return
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function may outlive the enclosing with-block.
+            nested_held = _held_by_annotation(ctx, statement)
+            yield from self._scan_block(
+                ctx, statement.body, registry, locks, nested_held
+            )
+            return
+        if isinstance(statement, ast.ClassDef):
+            return
+        # Compound statements: recurse into child statement blocks with
+        # the same held set, and scan the expressions they carry.
+        for field_name in ("body", "orelse", "finalbody"):
+            body = getattr(statement, field_name, None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                yield from self._scan_block(ctx, body, registry, locks, held)
+        for handler in getattr(statement, "handlers", []):
+            yield from self._scan_block(ctx, handler.body, registry, locks, held)
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                yield from self._scan_expression(ctx, child, registry, held)
+
+    def _scan_expression(
+        self,
+        ctx: ModuleContext,
+        expression: ast.expr,
+        registry: dict[str, str],
+        held: set[tuple[str, str]],
+    ) -> Iterator[Finding]:
+        if isinstance(expression, ast.Lambda):
+            # A closure may run after the lock is released: no lock held.
+            yield from self._scan_expression(ctx, expression.body, registry, set())
+            return
+        if isinstance(expression, ast.Attribute):
+            lock = registry.get(expression.attr)
+            if lock is not None:
+                receiver = ast.unparse(expression.value)
+                if (receiver, lock) not in held:
+                    yield self.finding(
+                        ctx,
+                        expression,
+                        f"'{receiver}.{expression.attr}' is guarded by "
+                        f"'{lock}' but accessed outside "
+                        f"'with {receiver}.{lock}'",
+                    )
+        for child in _child_expressions(expression):
+            yield from self._scan_expression(ctx, child, registry, held)
+
+    @staticmethod
+    def _acquired_locks(
+        context_expr: ast.expr, locks: set[str]
+    ) -> set[tuple[str, str]]:
+        """``(receiver, lock)`` pairs a with-item acquires."""
+        if (
+            isinstance(context_expr, ast.Attribute)
+            and context_expr.attr in locks
+        ):
+            return {(ast.unparse(context_expr.value), context_expr.attr)}
+        return set()

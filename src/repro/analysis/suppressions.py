@@ -1,0 +1,119 @@
+"""Finding suppression: ``# repro: noqa[RULE] justification``.
+
+A finding may be silenced only on its own line, only by naming the rule
+code, and only with a written justification — ``# repro: noqa[RPR002]``
+alone is itself a lint error.  The justification requirement turns every
+suppression into reviewable documentation of *why* the invariant does
+not apply, mirroring how the paper-reproduction invariants themselves
+are documented next to the code that upholds them.
+
+The same comment channel carries the lock-discipline helper annotation
+``# repro: locked[_lock]`` (see :mod:`repro.analysis.rules.locks`).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.base import ENGINE_CODE, Finding
+
+__all__ = [
+    "MIN_JUSTIFICATION",
+    "Suppression",
+    "scan_suppressions",
+    "suppression_findings",
+]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]*)\]\s*(.*)$")
+
+#: Justifications shorter than this (after stripping) are rejected —
+#: long enough to rule out "ok"-style rubber stamps.
+MIN_JUSTIFICATION = 10
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+    def covers(self, code: str) -> bool:
+        return code in self.codes
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """All noqa comments in ``source``, keyed by 1-indexed line number.
+
+    Scans real ``COMMENT`` tokens (via :mod:`tokenize`), so the
+    suppression syntax may be *mentioned* in strings and docstrings —
+    as this file's own documentation does — without being parsed.
+    """
+    found: dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        codes = tuple(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        found[line] = Suppression(
+            line=line, codes=codes, justification=match.group(2).strip()
+        )
+    return found
+
+
+def suppression_findings(
+    path: str, suppressions: dict[int, Suppression], known_codes: set[str]
+) -> list[Finding]:
+    """Engine findings for malformed suppressions (never suppressible)."""
+    findings: list[Finding] = []
+    for suppression in suppressions.values():
+        if not suppression.codes:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=1,
+                    code=ENGINE_CODE,
+                    message="suppression names no rule code; "
+                    "use '# repro: noqa[RPRnnn] justification'",
+                )
+            )
+            continue
+        unknown = [code for code in suppression.codes if code not in known_codes]
+        if unknown:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=1,
+                    code=ENGINE_CODE,
+                    message=f"suppression names unknown rule(s) "
+                    f"{', '.join(unknown)}",
+                )
+            )
+        if len(suppression.justification) < MIN_JUSTIFICATION:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=1,
+                    code=ENGINE_CODE,
+                    message="suppression requires a written justification "
+                    "after the bracket (why does the invariant not "
+                    "apply here?)",
+                )
+            )
+    return findings

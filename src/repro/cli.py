@@ -13,29 +13,21 @@ Four subcommands cover the operational lifecycle:
   per-label summaries plus persistent close-proximity tracks;
 * ``repro serve-workload`` — answer a whole workload through the
   batched, caching :class:`~repro.serving.QueryService` and report
-  cache statistics.
+  cache statistics;
+* ``repro lint`` — run the project static-analysis rules
+  (:mod:`repro.analysis`).
 
 Every command is pure-offline and deterministic given its ``--seed``.
+
+Heavy imports (numpy, the pipeline) are deferred into the command
+handlers so that ``repro lint`` — which gates CI before dependencies
+are installed — never pays for them.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
-
-from repro.core import MASTConfig, MASTIndex, SamplingResult, STCountProvider
-from repro.core.sampler import HierarchicalMultiAgentSampler
-from repro.data import (
-    load_detections,
-    load_sequence,
-    save_detections,
-    save_sequence,
-)
-from repro.models import available_models, make_model
-from repro.query import AggregateResult, QueryEngine, RetrievalResult
-from repro.simulation import build_sequence, dataset_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -44,6 +36,8 @@ _DATASETS = ("semantickitti", "once", "synlidar")
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
+    from repro.models import available_models
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MAST reproduction: efficient analytical queries on "
@@ -135,11 +129,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--show", type=int, default=5,
                        help="print the first N answers (0 for none)")
 
+    lint = sub.add_parser(
+        "lint", help="run the project static-analysis rules (repro.analysis)"
+    )
+    lint.add_argument("args", nargs=argparse.REMAINDER,
+                      help="arguments passed to the lint engine "
+                      "(see 'repro lint --help')")
+
     return parser
 
 
 # ----------------------------------------------------------------------
+def _cmd_lint(args, out) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(list(args.args), out=out)
+
+
 def _cmd_simulate(args, out) -> int:
+    from repro.data import save_sequence
+    from repro.simulation import build_sequence, dataset_spec
+
     sequence = build_sequence(
         dataset_spec(args.dataset),
         args.sequence_index,
@@ -153,7 +163,11 @@ def _cmd_simulate(args, out) -> int:
 
 
 def _cmd_fit(args, out) -> int:
+    from repro.core import MASTConfig
+    from repro.core.sampler import HierarchicalMultiAgentSampler
+    from repro.data import load_sequence, save_detections
     from repro.inference import DetectionStore, InferenceEngine
+    from repro.models import make_model
 
     sequence = load_sequence(args.sequence)
     model = make_model(args.model, seed=args.seed)
@@ -187,6 +201,9 @@ def _cmd_fit(args, out) -> int:
 
 
 def _cmd_query(args, out) -> int:
+    from repro.core import MASTIndex, STCountProvider
+    from repro.query import QueryEngine
+
     result = _load_sampling(args.sequence, args.detections)
     index = MASTIndex.build(result)
     engine = QueryEngine(STCountProvider(index))
@@ -202,7 +219,12 @@ def _cmd_query(args, out) -> int:
     return status
 
 
-def _load_sampling(sequence_path, detections_path) -> SamplingResult:
+def _load_sampling(sequence_path, detections_path):
+    import numpy as np
+
+    from repro.core import SamplingResult
+    from repro.data import load_detections, load_sequence
+
     sequence = load_sequence(sequence_path)
     detections, _model_name = load_detections(detections_path)
     return SamplingResult(
@@ -260,8 +282,11 @@ def _cmd_tracks(args, out) -> int:
 
 
 def _cmd_experiment(args, out) -> int:
+    from repro.core import MASTConfig
     from repro.evalx import format_table, run_experiment
+    from repro.models import make_model
     from repro.query import generate_workload
+    from repro.simulation import build_sequence, dataset_spec
 
     sequence = build_sequence(
         dataset_spec(args.dataset),
@@ -307,6 +332,8 @@ def _cmd_experiment(args, out) -> int:
 
 
 def _format_answer(text: str, answer, out) -> None:
+    from repro.query import AggregateResult, RetrievalResult
+
     if isinstance(answer, RetrievalResult):
         ids = ", ".join(str(i) for i in answer.frame_ids[:20])
         suffix = " ..." if answer.cardinality > 20 else ""
@@ -320,11 +347,13 @@ def _format_answer(text: str, answer, out) -> None:
 
 
 def _cmd_serve_workload(args, out) -> int:
-    from time import perf_counter
+    from time import perf_counter  # repro: noqa[RPR002] CLI throughput display only; no sampling decision or ledger charge reads this clock
 
-    from repro.core import MASTPipeline
-    from repro.query import generate_workload, parse_query
+    from repro.core import MASTConfig, MASTPipeline
+    from repro.models import make_model
+    from repro.query import RetrievalResult, generate_workload, parse_query
     from repro.serving import QueryService
+    from repro.simulation import build_sequence, dataset_spec
 
     sequence = build_sequence(
         dataset_spec(args.dataset),
@@ -391,14 +420,22 @@ _COMMANDS = {
     "tracks": _cmd_tracks,
     "experiment": _cmd_experiment,
     "serve-workload": _cmd_serve_workload,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit status."""
     out = out if out is not None else sys.stdout
+    args_list = list(sys.argv[1:]) if argv is None else list(argv)
+    if args_list[:1] == ["lint"]:
+        # Fast path: the lint gate must not import numpy (or wait for
+        # build_parser's model registry) just to parse its arguments.
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args_list[1:], out=out)
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(args_list)
     return _COMMANDS[args.command](args, out)
 
 

@@ -15,13 +15,14 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = ["BoundingBox3D"]
 
 _XY = slice(0, 2)
 
 
-def _as_vec3(value, name: str) -> np.ndarray:
+def _as_vec3(value: ArrayLike, name: str) -> np.ndarray:
     arr = np.asarray(value, dtype=float)
     if arr.shape != (3,):
         raise ValueError(f"{name} must have shape (3,), got {arr.shape}")
@@ -51,7 +52,7 @@ class BoundingBox3D:
     size: np.ndarray
     yaw: float = 0.0
 
-    def __init__(self, center, size, yaw: float = 0.0) -> None:
+    def __init__(self, center: ArrayLike, size: ArrayLike, yaw: float = 0.0) -> None:
         center = _as_vec3(center, "center")
         size = _as_vec3(size, "size")
         if not np.all(size > 0):
@@ -87,7 +88,9 @@ class BoundingBox3D:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_min_max(cls, min_point, max_point, yaw: float = 0.0) -> BoundingBox3D:
+    def from_min_max(
+        cls, min_point: ArrayLike, max_point: ArrayLike, yaw: float = 0.0
+    ) -> BoundingBox3D:
         """Build a box from the paper's ``(min, max, angle)`` triple.
 
         ``min_point`` / ``max_point`` are the corners in the box-local
@@ -167,7 +170,7 @@ class BoundingBox3D:
         top = np.column_stack([bev, np.full(4, z_top)])
         return np.vstack([bottom, top])
 
-    def contains_point(self, point) -> bool:
+    def contains_point(self, point: ArrayLike) -> bool:
         """Whether ``point`` lies inside the oriented box (inclusive)."""
         point = _as_vec3(point, "point")
         rel = point - self.center
@@ -184,14 +187,14 @@ class BoundingBox3D:
     # ------------------------------------------------------------------
     # Motion
     # ------------------------------------------------------------------
-    def translated(self, delta) -> BoundingBox3D:
+    def translated(self, delta: ArrayLike) -> BoundingBox3D:
         """Return a copy shifted by ``delta`` (shape ``(3,)`` or ``(2,)``)."""
         delta = np.asarray(delta, dtype=float)
         if delta.shape == (2,):
             delta = np.array([delta[0], delta[1], 0.0])
         return BoundingBox3D(self.center + _as_vec3(delta, "delta"), self.size, self.yaw)
 
-    def moved(self, velocity, dt: float) -> BoundingBox3D:
+    def moved(self, velocity: ArrayLike, dt: float) -> BoundingBox3D:
         """Return the box extrapolated by ``velocity * dt`` (constant velocity).
 
         This is the motion model used by ST-PC analysis (paper Example 5.2):

@@ -10,6 +10,7 @@ motion extrapolation.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.geometry.box import BoundingBox3D
 
@@ -76,11 +77,11 @@ def clip_polygon(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
             break
         inputs, output = output, []
 
-        def inside(point) -> bool:
+        def inside(point: ArrayLike) -> bool:
             rel = np.asarray(point) - edge_start
             return edge[0] * rel[1] - edge[1] * rel[0] >= -1e-12
 
-        def intersection(p1, p2) -> tuple[float, float]:
+        def intersection(p1: ArrayLike, p2: ArrayLike) -> tuple[float, float]:
             p1 = np.asarray(p1, dtype=float)
             p2 = np.asarray(p2, dtype=float)
             d = p2 - p1

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = ["Pose2D", "rotation_matrix_2d", "wrap_angle"]
 
@@ -58,14 +59,14 @@ class Pose2D:
     # Point transforms.  Accept arrays of shape (2,), (3,), (N, 2) or
     # (N, 3); z coordinates (when present) pass through unchanged.
     # ------------------------------------------------------------------
-    def world_to_sensor(self, points) -> np.ndarray:
+    def world_to_sensor(self, points: ArrayLike) -> np.ndarray:
         """Map world-frame point(s) into this pose's sensor frame."""
         pts, squeeze, z = self._split(points)
         rot = rotation_matrix_2d(-self.yaw)
         local = (pts - self.position) @ rot.T
         return self._join(local, z, squeeze)
 
-    def sensor_to_world(self, points) -> np.ndarray:
+    def sensor_to_world(self, points: ArrayLike) -> np.ndarray:
         """Map sensor-frame point(s) into the world frame."""
         pts, squeeze, z = self._split(points)
         rot = rotation_matrix_2d(self.yaw)
@@ -88,7 +89,7 @@ class Pose2D:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _split(points) -> tuple[np.ndarray, bool, np.ndarray | None]:
+    def _split(points: ArrayLike) -> tuple[np.ndarray, bool, np.ndarray | None]:
         arr = np.asarray(points, dtype=float)
         squeeze = arr.ndim == 1
         if squeeze:

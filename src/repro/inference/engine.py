@@ -23,14 +23,25 @@ the hit counters change.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.data.annotations import ObjectArray
 from repro.data.frame import PointCloudFrame
 from repro.data.sequence import FrameSequence
 from repro.inference.executors import DetectionExecutor, make_executor
-from repro.inference.store import DetectionStore, detection_key, model_fingerprint
+from repro.inference.store import (
+    DetectionStore,
+    StoreStats,
+    detection_key,
+    model_fingerprint,
+)
 from repro.models.base import DetectionModel, FrameDetections
 from repro.utils.timing import STAGE_MODEL, CostLedger
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    from repro.core.config import MASTConfig
 
 __all__ = ["InferenceEngine", "PacedModel"]
 
@@ -73,7 +84,9 @@ class InferenceEngine:
         self._fingerprints: dict[int, str] = {}
 
     @classmethod
-    def from_config(cls, config, *, store: DetectionStore | None = None) -> InferenceEngine:
+    def from_config(
+        cls, config: MASTConfig, *, store: DetectionStore | None = None
+    ) -> InferenceEngine:
         """Build an engine from a :class:`~repro.core.config.MASTConfig`."""
         return cls(
             config.executor,
@@ -85,7 +98,7 @@ class InferenceEngine:
     def detect_wave(
         self,
         sequence: FrameSequence,
-        frame_ids,
+        frame_ids: Iterable[int],
         model: DetectionModel,
         *,
         ledger: CostLedger | None = None,
@@ -169,7 +182,7 @@ class InferenceEngine:
         return fingerprint
 
     # ------------------------------------------------------------------
-    def store_stats(self):
+    def store_stats(self) -> StoreStats | None:
         """The detection store's counters (``None`` without a store)."""
         return self.store.stats() if self.store is not None else None
 
@@ -181,7 +194,7 @@ class InferenceEngine:
     def __enter__(self) -> InferenceEngine:
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

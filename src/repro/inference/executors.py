@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 
 from repro.data.annotations import ObjectArray
@@ -75,7 +75,7 @@ class DetectionExecutor(ABC):
     def __enter__(self) -> DetectionExecutor:
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -103,9 +103,9 @@ class _PooledExecutor(DetectionExecutor):
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._batch_size = batch_size
-        self._pool = None
+        self._pool: Executor | None = None
 
-    def _make_pool(self):
+    def _make_pool(self) -> Executor:
         raise NotImplementedError
 
     def _prepare(self, frames: list[PointCloudFrame]) -> list[PointCloudFrame]:
@@ -138,7 +138,7 @@ class ThreadExecutor(_PooledExecutor):
 
     kind = "thread"
 
-    def _make_pool(self):
+    def _make_pool(self) -> Executor:
         return ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-inference"
         )
@@ -155,7 +155,7 @@ class ProcessExecutor(_PooledExecutor):
 
     kind = "process"
 
-    def _make_pool(self):
+    def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.workers)
 
     def _prepare(self, frames: list[PointCloudFrame]) -> list[PointCloudFrame]:

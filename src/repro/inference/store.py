@@ -146,6 +146,8 @@ class DetectionStore:
     entries are stored as single-frame ``.npz`` checkpoints named by a
     digest of their key, and lookups fall back to disk before reporting
     a miss, so separate processes share one warm store.
+
+    # guarded-by: _lock: _entries, _hits, _disk_hits, _misses, _evictions
     """
 
     def __init__(
@@ -198,7 +200,7 @@ class DetectionStore:
 
                 save_detections({key[1]: objects}, path, model_name=key[2])
 
-    def _insert(self, key: DetectionKey, objects: ObjectArray) -> None:
+    def _insert(self, key: DetectionKey, objects: ObjectArray) -> None:  # repro: locked[_lock]
         self._entries.pop(key, None)
         self._entries[key] = objects
         while len(self._entries) > self.max_entries:

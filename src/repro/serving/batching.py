@@ -10,16 +10,20 @@ evaluation out over a thread pool.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.config import MASTConfig
 from repro.core.pipeline import predictor_kind
-from repro.query.ast import CompoundRetrievalQuery
+from repro.query.ast import AggregateQuery, CompoundRetrievalQuery, RetrievalQuery
 from repro.query.parser import parse_query
 from repro.query.predicates import ObjectFilter
 from repro.serving.cache import CacheKey
 
-__all__ = ["BatchPlan", "PlannedQuery", "base_kind", "plan_batch"]
+__all__ = ["BatchPlan", "PlannedQuery", "Query", "base_kind", "plan_batch"]
+
+#: A parsed query of any shape the service can answer.
+Query = RetrievalQuery | CompoundRetrievalQuery | AggregateQuery
 
 
 def base_kind(kind: str) -> str:
@@ -32,7 +36,7 @@ def base_kind(kind: str) -> str:
     return "linear" if kind == "linear_floor" else kind
 
 
-def query_filters(query) -> tuple[ObjectFilter, ...]:
+def query_filters(query: Query) -> tuple[ObjectFilter, ...]:
     """Object filters referenced by one parsed query, in evaluation order."""
     if isinstance(query, CompoundRetrievalQuery):
         return tuple(c.object_filter for c in query.leaf_conditions())
@@ -45,7 +49,7 @@ class PlannedQuery:
 
     #: Position in the submitted workload (results keep this order).
     index: int
-    query: object
+    query: Query
     #: Provider kind answering the query ("st" / "linear" / "linear_floor").
     kind: str
     #: Cache keys of every count series the query reads.
@@ -77,7 +81,7 @@ class BatchPlan:
         return sum(len(q.series_keys) for q in self.queries)
 
 
-def plan_batch(queries, config: MASTConfig) -> BatchPlan:
+def plan_batch(queries: Iterable[str | Query], config: MASTConfig) -> BatchPlan:
     """Parse and route a workload; dedupe the series it references."""
     planned: list[PlannedQuery] = []
     distinct: dict[CacheKey, None] = {}

@@ -94,6 +94,9 @@ class CountSeriesCache:
     recently used entry is evicted first.  Every stored array is a
     read-only copy, isolated from provider internals and safe to hand
     to concurrent readers.
+
+    # guarded-by: _lock: _entries, _generation, _bytes
+    # guarded-by: _lock: _hits, _misses, _partial_hits, _evictions, _invalidations
     """
 
     def __init__(self, max_entries: int = 512) -> None:

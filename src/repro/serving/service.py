@@ -30,8 +30,10 @@ snapshot.  Cumulative cache statistics are monotone.
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -42,9 +44,9 @@ from repro.query.ast import AggregateResult, RetrievalResult
 from repro.query.engine import evaluate_query
 from repro.query.parser import parse_query
 from repro.query.predicates import ObjectFilter
-from repro.serving.batching import BatchPlan, base_kind, plan_batch
+from repro.serving.batching import BatchPlan, Query, base_kind, plan_batch
 from repro.serving.cache import CacheStats, CountSeriesCache
-from repro.utils.timing import STAGE_QUERY
+from repro.utils.timing import STAGE_QUERY, CostLedger
 from repro.utils.validation import require
 
 __all__ = ["QueryService"]
@@ -62,14 +64,22 @@ class _ServiceState:
 
     generation: int
     n_frames: int
-    providers: dict
+    providers: dict[str, Any]
 
-    def provider(self, kind: str):
+    def provider(self, kind: str) -> Any:
         return self.providers[kind]
 
 
 class QueryService:
-    """Serve retrieval / aggregate workloads with shared caching."""
+    """Serve retrieval / aggregate workloads with shared caching.
+
+    The worker pool is created lazily and owned by the service; every
+    ``_pool`` touch outside the double-checked fast path happens under
+    ``_pool_lock``.  (``_state`` needs no lock: it is an immutable
+    snapshot swapped atomically under ``_extend_lock``.)
+
+    # guarded-by: _pool_lock: _pool
+    """
 
     def __init__(
         self,
@@ -105,7 +115,7 @@ class QueryService:
         return self._pipeline
 
     @property
-    def ledger(self):
+    def ledger(self) -> CostLedger:
         return self._pipeline.ledger
 
     @property
@@ -186,14 +196,16 @@ class QueryService:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, query) -> RetrievalResult | AggregateResult:
+    def execute(self, query: str | Query) -> RetrievalResult | AggregateResult:
         """Answer one query (object or query-language text)."""
         if isinstance(query, str):
             query = parse_query(query)
         state = self._state
         return self._execute_on(state, query)
 
-    def execute_many(self, queries) -> list[RetrievalResult | AggregateResult]:
+    def execute_many(
+        self, queries: Iterable[str | Query]
+    ) -> list[RetrievalResult | AggregateResult]:
         """Answer a list of queries serially, in order."""
         state = self._state
         return [
@@ -202,7 +214,7 @@ class QueryService:
         ]
 
     def _execute_on(
-        self, state: _ServiceState, query
+        self, state: _ServiceState, query: Query
     ) -> RetrievalResult | AggregateResult:
         kind = predictor_kind(self._pipeline.config, query)
         provider = state.provider(kind)
@@ -220,7 +232,7 @@ class QueryService:
             )
 
     def execute_batch(
-        self, queries, *, max_workers: int | None = None
+        self, queries: Iterable[str | Query], *, max_workers: int | None = None
     ) -> list[RetrievalResult | AggregateResult]:
         """Answer a workload with shared series computation.
 
@@ -237,7 +249,7 @@ class QueryService:
 
     def _executor(self) -> ThreadPoolExecutor:
         """The service's persistent worker pool (created on first use)."""
-        pool = self._pool
+        pool = self._pool  # repro: noqa[RPR003] benign double-checked read; re-verified under _pool_lock before any write
         if pool is None:
             with self._pool_lock:
                 if self._pool is None:
@@ -258,7 +270,7 @@ class QueryService:
     def __enter__(self) -> QueryService:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _run_plan(
@@ -336,7 +348,7 @@ class QueryService:
         return self
 
     @staticmethod
-    def _prime_linear(old_provider, new_provider, boundary: int) -> None:
+    def _prime_linear(old_provider: Any, new_provider: Any, boundary: int) -> None:
         """Carry still-valid sampled counts into the rebuilt provider.
 
         Sampled frames at ids ``<= boundary`` kept their detections, so

@@ -29,11 +29,14 @@ STAGE_QUERY = "query"
 class CostLedger:
     """Accumulates simulated and measured seconds per pipeline stage.
 
-    All mutation goes through a lock, so one ledger may be charged from
+    All access goes through a lock, so one ledger may be charged from
     many threads (the batched query service fans evaluation out over a
-    thread pool).  Besides seconds, the ledger keeps per-stage cache
-    counters so serving-layer hit rates land in the same report as the
-    costs they amortize.
+    thread pool) while another thread reads a consistent report.
+    Besides seconds, the ledger keeps per-stage cache counters so
+    serving-layer hit rates land in the same report as the costs they
+    amortize.
+
+    # guarded-by: _lock: simulated, measured, counts, cache_hits, cache_misses
     """
 
     simulated: dict[str, float] = field(default_factory=lambda: defaultdict(float))
@@ -103,20 +106,26 @@ class CostLedger:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def _total_locked(self, stage: str) -> float:  # repro: locked[_lock]
+        return self.simulated.get(stage, 0.0) + self.measured.get(stage, 0.0)
+
     def total(self, stage: str) -> float:
         """Simulated + measured seconds attributed to ``stage``."""
-        return self.simulated.get(stage, 0.0) + self.measured.get(stage, 0.0)
+        with self._lock:
+            return self._total_locked(stage)
 
     @property
     def grand_total(self) -> float:
         """Simulated + measured seconds across all stages."""
-        stages = set(self.simulated) | set(self.measured)
-        return sum(self.total(stage) for stage in stages)
+        with self._lock:
+            stages = set(self.simulated) | set(self.measured)
+            return sum(self._total_locked(stage) for stage in stages)
 
     def summary(self) -> dict[str, float]:
         """Stage -> total seconds, for reports."""
-        stages = sorted(set(self.simulated) | set(self.measured))
-        return {stage: self.total(stage) for stage in stages}
+        with self._lock:
+            stages = sorted(set(self.simulated) | set(self.measured))
+            return {stage: self._total_locked(stage) for stage in stages}
 
     def invocations(self, stage: str) -> int:
         """Number of charged invocations of ``stage``.
@@ -125,25 +134,28 @@ class CostLedger:
         :meth:`charge`, so they do not count — the counter is the
         number of *actual* (simulated) model runs.
         """
-        return self.counts.get(stage, 0)
+        with self._lock:
+            return self.counts.get(stage, 0)
 
     def cache_hit_rate(self, stage: str) -> float:
         """Fraction of ``stage`` cache lookups that hit (NaN if none)."""
-        hits = self.cache_hits.get(stage, 0)
-        misses = self.cache_misses.get(stage, 0)
+        with self._lock:
+            hits = self.cache_hits.get(stage, 0)
+            misses = self.cache_misses.get(stage, 0)
         lookups = hits + misses
         return hits / lookups if lookups else float("nan")
 
     def cache_summary(self) -> dict[str, dict[str, int]]:
         """Stage -> ``{"hits": ..., "misses": ...}`` for stages with lookups."""
-        stages = sorted(set(self.cache_hits) | set(self.cache_misses))
-        return {
-            stage: {
-                "hits": self.cache_hits.get(stage, 0),
-                "misses": self.cache_misses.get(stage, 0),
+        with self._lock:
+            stages = sorted(set(self.cache_hits) | set(self.cache_misses))
+            return {
+                stage: {
+                    "hits": self.cache_hits.get(stage, 0),
+                    "misses": self.cache_misses.get(stage, 0),
+                }
+                for stage in stages
             }
-            for stage in stages
-        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v:.3f}s" for k, v in self.summary().items())

@@ -1,0 +1,1 @@
+"""Tests for the project static-analysis pass (``repro lint``)."""

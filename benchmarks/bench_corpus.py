@@ -1,0 +1,222 @@
+"""Corpus bench: cross-sequence budget allocation + sharded serving.
+
+Two claims of the corpus layer on a heterogeneous three-sequence corpus
+(a near-static drive, a volatile drive, and a sparse 2-FPS urban log):
+
+1. **Allocation accuracy** — at the *same total budget*, the root-level
+   UCB allocator must reach corpus-wide aggregate error no worse than
+   the uniform per-sequence split.  The UCB agent discovers which
+   sequences keep earning high ST-PC reward per sampled frame and moves
+   the shared adaptive budget there.
+
+2. **Sharded serving** — a mixed scoped/fan-out workload served through
+   :class:`~repro.corpus.CorpusQueryService` must answer bit-identically
+   to per-query :meth:`~repro.corpus.CorpusPipeline.query` calls; the
+   bench records the throughput of both paths.
+
+Writes machine-readable ``BENCH_corpus.json`` at the repository root so
+CI can gate on the allocation comparison.  ``--smoke`` shrinks the
+corpus for fast CI runs (the assertions still hold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import MASTConfig
+from repro.corpus import (
+    CorpusPipeline,
+    CorpusQueryService,
+    SequenceCatalog,
+    SequenceSpec,
+)
+from repro.evalx import run_corpus_experiment
+from repro.models import pv_rcnn
+from repro.query.workload import generate_workload
+
+RESULTS_PATH = Path(__file__).parent.parent / "BENCH_corpus.json"
+MODEL_SEED = 5
+SEED = 1
+
+#: A drive where almost nothing changes: few, long-lived, slow actors.
+#: Adaptive frames here earn little — linear interpolation already
+#: nails the count series.
+STATIC_WORLD = (
+    ("base_spawn_rate", 0.15),
+    ("intensity_amplitude", 0.05),
+    ("mean_lifetime", 90.0),
+    ("ego_speed_mean", 1.5),
+    ("ego_speed_amplitude", 0.3),
+    ("burst_rate", 0.0),
+    ("yaw_rate_sigma", 0.005),
+    ("speed_noise", 0.05),
+)
+#: Dense, bursty, short-lived traffic: the count series is jagged and
+#: every adaptive frame pays off.
+VOLATILE_WORLD = (
+    ("base_spawn_rate", 1.6),
+    ("mean_lifetime", 10.0),
+    ("intensity_period", 30.0),
+    ("burst_rate", 0.15),
+    ("ego_speed_mean", 12.0),
+    ("yaw_rate_sigma", 0.1),
+)
+
+
+def build_catalog(*, smoke: bool) -> SequenceCatalog:
+    """The heterogeneous bench corpus (deterministic)."""
+    long_n, short_n = (160, 120) if smoke else (360, 240)
+    catalog = SequenceCatalog()
+    catalog.register(
+        SequenceSpec(
+            "semantickitti", 0, n_frames=long_n,
+            name="static-drive", world_overrides=STATIC_WORLD,
+        )
+    )
+    catalog.register(
+        SequenceSpec(
+            "semantickitti", 1, n_frames=long_n,
+            name="volatile-drive", world_overrides=VOLATILE_WORLD,
+        )
+    )
+    catalog.register(SequenceSpec("once", 0, n_frames=short_n, name="sparse-urban"))
+    return catalog
+
+
+def bench_allocation(catalog: SequenceCatalog, *, smoke: bool) -> dict:
+    """Uniform vs UCB at equal total budget, scored against the Oracle."""
+    workload = generate_workload(rng=SEED)
+    n_retrieval = 12 if smoke else 24
+    report = run_corpus_experiment(
+        catalog,
+        pv_rcnn(seed=MODEL_SEED),
+        config=MASTConfig(budget_fraction=0.10, seed=SEED),
+        retrieval_queries=list(workload.retrieval)[:n_retrieval],
+        aggregate_queries=list(workload.aggregates),
+    )
+    uniform = report["uniform"]
+    ucb = report["ucb"]
+    assert ucb.total_frames == uniform.total_frames, (
+        f"policies ran at different budgets: "
+        f"ucb={ucb.total_frames} uniform={uniform.total_frames}"
+    )
+    assert ucb.aggregate_error <= uniform.aggregate_error + 1e-12, (
+        f"UCB allocation ({ucb.aggregate_error:.5f}) must not lose to the "
+        f"uniform split ({uniform.aggregate_error:.5f}) at equal budget"
+    )
+    return {
+        "sequences": {
+            name: catalog.n_frames(name) for name in catalog.names()
+        },
+        "total_budget_frames": uniform.total_frames,
+        "n_retrieval_queries": report.n_retrieval_queries,
+        "n_aggregate_queries": report.n_aggregate_queries,
+        "policies": {
+            name: {
+                "frames_by_sequence": policy.frames_by_sequence,
+                "aggregate_error": round(policy.aggregate_error, 6),
+                "retrieval_f1": round(policy.retrieval_f1, 6),
+            }
+            for name, policy in report.policies.items()
+        },
+        "ucb_vs_uniform_error_ratio": round(
+            ucb.aggregate_error / uniform.aggregate_error, 4
+        )
+        if uniform.aggregate_error
+        else None,
+    }
+
+
+def _mixed_workload(catalog: SequenceCatalog, *, n_queries: int) -> list[str]:
+    """Scoped + fan-out query texts cycling over the catalog."""
+    names = catalog.names()
+    base = [q.describe() for q in generate_workload(rng=SEED).all_queries()]
+    texts = []
+    for position, text in enumerate(base[:n_queries]):
+        which = position % (len(names) + 1)
+        if which < len(names):
+            texts.append(f"{text} IN SEQUENCE {names[which]}")
+        else:
+            texts.append(text)  # fan-out
+    return texts
+
+
+def bench_serving(catalog: SequenceCatalog, *, smoke: bool) -> dict:
+    """Sharded batched serving vs per-query pipeline calls."""
+    config = MASTConfig(budget_fraction=0.10, seed=SEED)
+    n_queries = 40 if smoke else 120
+    repeats = 3
+    with CorpusPipeline(catalog, config, policy="ucb").fit(
+        pv_rcnn(seed=MODEL_SEED)
+    ) as corpus:
+        texts = _mixed_workload(catalog, n_queries=n_queries)
+
+        start = time.perf_counter()
+        serial = [corpus.query(text) for text in texts]
+        serial_seconds = time.perf_counter() - start
+
+        with CorpusQueryService(corpus) as service:
+            batched = service.execute_batch(texts)
+            start = time.perf_counter()
+            for _ in range(repeats):
+                batched = service.execute_batch(texts)
+            batched_seconds = (time.perf_counter() - start) / repeats
+            cache = service.cache_stats()
+
+        for text, got, want in zip(texts, batched, serial):
+            if hasattr(want, "value"):
+                assert got.value == want.value, text
+            elif hasattr(want, "by_sequence"):
+                assert got.id_set() == want.id_set(), text
+            else:
+                assert np.array_equal(got.frame_ids, want.frame_ids), text
+
+    return {
+        "queries": len(texts),
+        "serial_qps": round(len(texts) / serial_seconds, 1),
+        "batched_qps": round(len(texts) / batched_seconds, 1),
+        "batched_seconds": round(batched_seconds, 4),
+        "serial_seconds": round(serial_seconds, 4),
+        "cache": cache.as_dict(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus for fast CI runs")
+    args = parser.parse_args(argv)
+
+    catalog = build_catalog(smoke=args.smoke)
+    allocation = bench_allocation(catalog, smoke=args.smoke)
+    serving = bench_serving(catalog, smoke=args.smoke)
+
+    payload = {
+        "bench": "corpus",
+        "smoke": bool(args.smoke),
+        "allocation": allocation,
+        "serving": serving,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(json.dumps(payload, indent=2))
+    uniform = allocation["policies"]["uniform"]["aggregate_error"]
+    ucb = allocation["policies"]["ucb"]["aggregate_error"]
+    print(
+        f"\nallocation: ucb error {ucb:.5f} <= uniform error {uniform:.5f} "
+        f"at {allocation['total_budget_frames']} total frames"
+    )
+    print(
+        f"serving: {serving['batched_qps']} qps batched vs "
+        f"{serving['serial_qps']} qps serial -> {RESULTS_PATH.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,8 @@ __version__ = "1.0.0"
 #: Public name -> providing submodule, imported on first attribute access.
 _EXPORTS = {
     "AggregateQuery": "repro.query",
+    "CorpusPipeline": "repro.corpus",
+    "CorpusQueryService": "repro.corpus",
     "DetectionStore": "repro.inference",
     "FrameSequence": "repro.data",
     "InferenceEngine": "repro.inference",
@@ -47,7 +49,11 @@ _EXPORTS = {
     "QueryService": "repro.serving",
     "RetrievalQuery": "repro.query",
     "SamplingResult": "repro.core",
+    "ScopedQuery": "repro.query",
+    "SequenceCatalog": "repro.corpus",
+    "SequenceSpec": "repro.corpus",
     "parse_query": "repro.query",
+    "parse_scoped_query": "repro.query",
 }
 
 __all__ = sorted([*_EXPORTS, "__version__"])

@@ -12,8 +12,11 @@ Four subcommands cover the operational lifecycle:
 * ``repro tracks``   — stitch object tracks from a checkpoint and print
   per-label summaries plus persistent close-proximity tracks;
 * ``repro serve-workload`` — answer a whole workload through the
-  batched, caching :class:`~repro.serving.QueryService` and report
-  cache statistics;
+  batched, caching :class:`~repro.serving.QueryService` (or, with
+  ``--corpus``, the sharded :class:`~repro.corpus.CorpusQueryService`)
+  and report cache statistics;
+* ``repro corpus`` — fit a multi-sequence corpus under a budget
+  policy, print the allocation report, and answer scoped queries;
 * ``repro lint`` — run the project static-analysis rules
   (:mod:`repro.analysis`).
 
@@ -128,6 +131,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads for batch evaluation")
     serve.add_argument("--show", type=int, default=5,
                        help="print the first N answers (0 for none)")
+    serve.add_argument("--corpus", nargs="+", default=None, metavar="SPEC",
+                       help="serve a sharded corpus instead of one sequence; "
+                       "each SPEC is dataset[:index[:frames]] "
+                       "(e.g. semantickitti:0:600 once:1:400)")
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="fit a multi-sequence corpus under a budget policy and "
+        "answer scoped queries",
+    )
+    corpus.add_argument("--sequences", nargs="+", required=True, metavar="SPEC",
+                        help="catalog entries, each dataset[:index[:frames]] "
+                        "(e.g. semantickitti:0:600 once:1:400)")
+    corpus.add_argument("--policy", choices=("uniform", "ucb"), default="ucb",
+                        help="cross-sequence budget policy (default ucb)")
+    corpus.add_argument("--round-size", type=int, default=8,
+                        help="frames per UCB allocation round (default 8)")
+    corpus.add_argument("--budget", type=float, default=0.10)
+    corpus.add_argument("--model", choices=available_models(), default="pv_rcnn")
+    corpus.add_argument("--seed", type=int, default=1)
+    corpus.add_argument("queries", nargs="*",
+                        help="query text; append 'IN SEQUENCE <name>' to "
+                        "scope, otherwise the query fans out")
 
     lint = sub.add_parser(
         "lint", help="run the project static-analysis rules (repro.analysis)"
@@ -346,71 +372,188 @@ def _format_answer(text: str, answer, out) -> None:
         print(f"{text}\n  -> {answer.value:.4f}", file=out)
 
 
+def _parse_corpus_spec(text: str):
+    """``dataset[:index[:frames]]`` -> :class:`~repro.corpus.SequenceSpec`."""
+    from repro.corpus import SequenceSpec
+
+    parts = text.split(":")
+    if len(parts) > 3 or parts[0] not in _DATASETS:
+        raise ValueError(
+            f"bad corpus spec {text!r}; expected dataset[:index[:frames]] "
+            f"with dataset in {_DATASETS}"
+        )
+    index = int(parts[1]) if len(parts) > 1 else 0
+    n_frames = int(parts[2]) if len(parts) > 2 else None
+    return SequenceSpec(parts[0], index, n_frames=n_frames)
+
+
+def _build_catalog(specs):
+    from repro.corpus import SequenceCatalog
+
+    catalog = SequenceCatalog()
+    for spec_text in specs:
+        catalog.register(_parse_corpus_spec(spec_text))
+    return catalog
+
+
+def _load_workload(args, parse):
+    """The serve-workload query list (file or generated), or None on error."""
+    from repro.query import generate_workload
+
+    if args.workload is not None:
+        with open(args.workload, encoding="utf-8") as handle:
+            lines = [line.strip() for line in handle]
+        texts = [line for line in lines if line and not line.startswith("#")]
+        return [parse(text) for text in texts]
+    return list(generate_workload(rng=args.seed).all_queries())[: args.queries]
+
+
 def _cmd_serve_workload(args, out) -> int:
     from time import perf_counter  # repro: noqa[RPR002] CLI throughput display only; no sampling decision or ledger charge reads this clock
 
     from repro.core import MASTConfig, MASTPipeline
     from repro.models import make_model
-    from repro.query import RetrievalResult, generate_workload, parse_query
-    from repro.serving import QueryService
+    from repro.query import RetrievalResult, parse_query, parse_scoped_query
     from repro.simulation import build_sequence, dataset_spec
 
-    sequence = build_sequence(
-        dataset_spec(args.dataset),
-        args.sequence_index,
-        n_frames=args.frames,
-        with_points=False,
-    )
+    config = MASTConfig(seed=args.seed, budget_fraction=args.budget)
     model = make_model(args.model, seed=5)
-    pipeline = MASTPipeline(
-        MASTConfig(seed=args.seed, budget_fraction=args.budget)
-    ).fit(sequence, model)
-
-    if args.workload is not None:
-        try:
-            with open(args.workload, encoding="utf-8") as handle:
-                lines = [line.strip() for line in handle]
-        except OSError as error:
-            print(f"error: {error}", file=out)
-            return 2
-        texts = [line for line in lines if line and not line.startswith("#")]
-        try:
-            queries = [parse_query(text) for text in texts]
-        except ValueError as error:
-            print(f"error: {error}", file=out)
-            return 2
-    else:
-        queries = list(generate_workload(rng=args.seed).all_queries())
-        queries = queries[: args.queries]
+    parse = parse_scoped_query if args.corpus else parse_query
+    try:
+        queries = _load_workload(args, parse)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=out)
+        return 2
     if not queries:
         print("error: empty workload", file=out)
         return 2
 
-    service = QueryService(pipeline, max_workers=max(1, args.threads))
+    if args.corpus:
+        from repro.corpus import CorpusPipeline, CorpusQueryService
+
+        try:
+            catalog = _build_catalog(args.corpus)
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            return 2
+        pipeline = CorpusPipeline(catalog, config, policy="ucb").fit(model)
+        service = CorpusQueryService(pipeline, max_workers=max(1, args.threads))
+        n_frames = catalog.total_frames()
+        scope_note = f" across {len(catalog)} sequences"
+    else:
+        from repro.serving import QueryService
+
+        sequence = build_sequence(
+            dataset_spec(args.dataset),
+            args.sequence_index,
+            n_frames=args.frames,
+            with_points=False,
+        )
+        pipeline = MASTPipeline(config).fit(sequence, model)
+        service = QueryService(pipeline, max_workers=max(1, args.threads))
+        n_frames = len(sequence)
+        scope_note = ""
+
     start = perf_counter()
     results = []
     for _ in range(max(1, args.repeat)):
         results = service.execute_batch(queries)
     elapsed = perf_counter() - start
 
-    n_retrieval = sum(isinstance(r, RetrievalResult) for r in results)
+    n_retrieval = sum(hasattr(r, "cardinality") for r in results)
     print(
         f"served {max(1, args.repeat)} x {len(queries)} queries over "
-        f"{len(sequence)} frames in {elapsed:.3f}s "
+        f"{n_frames} frames{scope_note} in {elapsed:.3f}s "
         f"({n_retrieval} retrieval / {len(results) - n_retrieval} aggregate "
         "per batch)",
         file=out,
     )
     print(f"cache: {service.cache_stats().describe()}", file=out)
-    for stage, counters in pipeline.ledger.cache_summary().items():
+    ledger_summary = (
+        pipeline.ledger.cache_summary()
+        if not args.corpus
+        else _merged_cache_summary(pipeline)
+    )
+    for stage, counters in ledger_summary.items():
         print(
             f"ledger[{stage}]: {counters['hits']} hits / "
             f"{counters['misses']} misses",
             file=out,
         )
-    for query, answer in list(zip(queries, results))[: max(0, args.show)]:
-        _format_answer(query.describe(), answer, out)
+    shown = list(zip(queries, results))[: max(0, args.show)]
+    for query, answer in shown:
+        if isinstance(answer, RetrievalResult) or hasattr(answer, "value"):
+            _format_answer(query.describe(), answer, out)
+        else:  # corpus retrieval fan-out
+            print(
+                f"{query.describe()}\n  -> {answer.cardinality} frames "
+                f"({100 * answer.selectivity:.2f} %) across "
+                f"{len(answer.by_sequence)} sequences",
+                file=out,
+            )
+    service.close()
     return 0
+
+
+def _merged_cache_summary(corpus):
+    from repro.utils.timing import CostLedger
+
+    merged = CostLedger()
+    for shard in corpus.shards.values():
+        merged.merge(shard.ledger)
+    return merged.cache_summary()
+
+
+def _cmd_corpus(args, out) -> int:
+    from repro.core import MASTConfig
+    from repro.corpus import CorpusPipeline
+    from repro.models import make_model
+
+    try:
+        catalog = _build_catalog(args.sequences)
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    config = MASTConfig(seed=args.seed, budget_fraction=args.budget)
+    model = make_model(args.model, seed=5)
+    with CorpusPipeline(
+        catalog, config, policy=args.policy, round_size=args.round_size
+    ).fit(model) as corpus:
+        assert corpus.allocation is not None
+        print(catalog.describe(), file=out)
+        print(corpus.allocation.describe(), file=out)
+        status = 0
+        for text in args.queries:
+            try:
+                answer = corpus.query(text)
+            except ValueError as error:
+                print(f"error: {error}", file=out)
+                status = 2
+                continue
+            if hasattr(answer, "by_sequence"):
+                if hasattr(answer, "value"):
+                    print(f"{text}\n  -> {answer.value:.4f} (corpus-wide)",
+                          file=out)
+                else:
+                    per = ", ".join(
+                        f"{name}: {result.cardinality}"
+                        for name, result in answer.by_sequence.items()
+                    )
+                    print(
+                        f"{text}\n  -> {answer.cardinality} frames "
+                        f"({100 * answer.selectivity:.2f} %) [{per}]",
+                        file=out,
+                    )
+            else:
+                _format_answer(text, answer, out)
+        stages = corpus.cost_summary()
+        print(
+            "cost: "
+            + ", ".join(f"{stage}={seconds:.2f}s"
+                        for stage, seconds in sorted(stages.items())),
+            file=out,
+        )
+    return status
 
 
 _COMMANDS = {
@@ -420,6 +563,7 @@ _COMMANDS = {
     "tracks": _cmd_tracks,
     "experiment": _cmd_experiment,
     "serve-workload": _cmd_serve_workload,
+    "corpus": _cmd_corpus,
     "lint": _cmd_lint,
 }
 

@@ -7,6 +7,7 @@ from repro.core.index import LinearCountProvider, MASTIndex, STCountProvider
 from repro.core.pipeline import MASTPipeline
 from repro.core.reward import count_deviation_reward, st_reward
 from repro.core.sampler import (
+    AdaptiveSamplingSession,
     BaseSampler,
     HierarchicalMultiAgentSampler,
     SamplingResult,
@@ -17,6 +18,7 @@ from repro.core.stpc import MotionEstimate, analyze_pair, match_by_label
 from repro.core.streaming import BatchSnapshot, StreamingMonitor
 
 __all__ = [
+    "AdaptiveSamplingSession",
     "BaseSampler",
     "BatchSnapshot",
     "StreamingMonitor",

@@ -111,6 +111,32 @@ class MASTPipeline:
         self._rebuild_index()
         return self
 
+    def fit_from_sampling(
+        self,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        sampling: SamplingResult,
+    ) -> MASTPipeline:
+        """Install an externally produced sampling run and build the index.
+
+        The corpus layer samples through shared
+        :class:`~repro.core.sampler.AdaptiveSamplingSession` objects (so
+        a root allocator can move budget between sequences) and then
+        adopts each session's result here; everything downstream —
+        index, providers, engines, ``query()`` — is identical to a
+        :meth:`fit` that produced the same ``sampling``.
+        """
+        require(
+            sampling.n_frames == len(sequence),
+            f"sampling covers {sampling.n_frames} frames but sequence "
+            f"{sequence.name!r} has {len(sequence)}",
+        )
+        self._sequence = sequence
+        self._model = model
+        self._sampling = sampling
+        self._rebuild_index()
+        return self
+
     def extend(
         self, new_frames: list[PointCloudFrame], *, model: DetectionModel | None = None
     ) -> MASTPipeline:

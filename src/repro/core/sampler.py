@@ -32,7 +32,13 @@ from repro.utils.rng import ensure_rng
 from repro.utils.timing import STAGE_POLICY, CostLedger
 from repro.utils.validation import require, require_in
 
-__all__ = ["SamplingResult", "BaseSampler", "HierarchicalMultiAgentSampler", "uniform_ids"]
+__all__ = [
+    "SamplingResult",
+    "BaseSampler",
+    "AdaptiveSamplingSession",
+    "HierarchicalMultiAgentSampler",
+    "uniform_ids",
+]
 
 
 def uniform_ids(n_frames: int, budget: int) -> np.ndarray:
@@ -256,61 +262,161 @@ class HierarchicalMultiAgentSampler(BaseSampler):
         engine: InferenceEngine | None = None,
     ) -> SamplingResult:
         with self._inference(engine) as engine:
-            return self._sample(sequence, model, ledger, engine)
+            session = AdaptiveSamplingSession(
+                self, sequence, model, ledger=ledger, engine=engine
+            )
+            session.step(session.remaining)
+            return session.result()
 
-    def _sample(
+    def session(
         self,
         sequence: FrameSequence,
         model: DetectionModel,
-        ledger: CostLedger | None,
+        *,
         engine: InferenceEngine,
-    ) -> SamplingResult:
-        config = self.config
-        ledger = ledger if ledger is not None else CostLedger()
+        ledger: CostLedger | None = None,
+        budget: int | None = None,
+    ) -> AdaptiveSamplingSession:
+        """Open a resumable sampling session (uniform pass runs eagerly).
+
+        The corpus layer uses sessions to interleave adaptive sampling
+        across many sequences under one shared budget: each ``step``
+        spends a caller-controlled slice of budget and reports the
+        ST-PC rewards it observed, so a root-level allocator can steer
+        subsequent slices toward the sequences that earn the most.
+        Unlike :meth:`sample`, the engine is always borrowed.
+        """
+        return AdaptiveSamplingSession(
+            self, sequence, model, ledger=ledger, engine=engine, budget=budget
+        )
+
+
+class AdaptiveSamplingSession:
+    """A resumable run of the MAST sampler over one sequence.
+
+    Construction performs the uniform pass (one detection wave) and
+    builds the segment tree; :meth:`step` then spends adaptive budget in
+    caller-controlled chunks, returning the ST-PC rewards of the frames
+    it sampled.  ``step(session.remaining)`` reproduces Alg. 2 exactly,
+    and — with ``wave_size=1`` (the default, the paper's sequential
+    policy) — any chunking of the same total budget is bit-identical to
+    the one-shot run, because each chunk replays the identical sequence
+    of (select, detect, record) operations.
+
+    ``budget`` bounds the total frames the session may ever sample;
+    ``None`` uses the sequence's own paper budget
+    (:meth:`MASTConfig.budget_for`).  A cross-sequence allocator passes
+    the sequence length instead, so the root policy — not the local
+    config — decides where the corpus-wide budget goes.
+    """
+
+    def __init__(
+        self,
+        sampler: HierarchicalMultiAgentSampler,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        *,
+        engine: InferenceEngine,
+        ledger: CostLedger | None = None,
+        budget: int | None = None,
+    ) -> None:
+        config = sampler.config
+        self._sampler = sampler
+        self._sequence = sequence
+        self._model = model
+        self._engine = engine
+        self.ledger = ledger if ledger is not None else CostLedger()
         n_frames = len(sequence)
-        budget = config.budget_for(n_frames)
-        uniform_budget = config.uniform_budget_for(budget)
+        #: The sequence's own paper budget (``budget_fraction * n``);
+        #: the uniform pass is always sized from this, per Alg. 2.
+        self.base_budget = config.budget_for(n_frames)
+        if budget is None:
+            self.budget = self.base_budget
+        else:
+            require(budget >= 2, f"session budget must be >= 2, got {budget}")
+            self.budget = min(int(budget), n_frames)
+        uniform_budget = config.uniform_budget_for(self.base_budget)
 
-        sampled, detections = self._uniform_phase(
-            sequence, model, uniform_budget, ledger, engine
+        self._sampled, self._detections = sampler._uniform_phase(
+            sequence, model, uniform_budget, self.ledger, engine
         )
-        if len(sampled) < 2:
-            # Degenerate sequence (single frame): nothing to adapt over.
-            return SamplingResult(
-                sequence_name=sequence.name,
-                n_frames=n_frames,
-                timestamps=sequence.timestamps,
-                budget=budget,
-                sampled_ids=np.asarray(sampled, dtype=np.int64),
-                detections=detections,
-                ledger=ledger,
-                policy_info={"sampler": self.name, "reward_kind": self.reward_kind},
+        self.rewards: list[float] = []
+        self._exhausted = False
+        self._sampled_set: set[int] = set(self._sampled)
+        self._tree: SegmentTree | None = None
+        if len(self._sampled) >= 2:
+            rng = ensure_rng(config.seed, "sampler", sequence.name)
+            self._tree = SegmentTree(
+                self._sampled,
+                branching=config.branching,
+                max_depth=config.max_depth,
+                ucb_c=config.ucb_c,
+                alpha_r=config.alpha_r,
+                rng=rng,
             )
-        rng = ensure_rng(config.seed, "sampler", sequence.name)
-        tree = SegmentTree(
-            sampled,
-            branching=config.branching,
-            max_depth=config.max_depth,
-            ucb_c=config.ucb_c,
-            alpha_r=config.alpha_r,
-            rng=rng,
-        )
 
-        sampled_set = set(sampled)
-        rewards: list[float] = []
-        remaining = budget - len(sampled)
-        # Each adaptive round selects a wave of up to ``wave_size`` leaves
-        # (UCB statistics frozen within the round), submits the whole
-        # candidate set to the inference engine so pool workers overlap,
-        # then scores and records the rewards in selection order.  A wave
-        # of 1 is exactly the paper's sequential Alg. 2.
+    # ------------------------------------------------------------------
+    # Telemetry (read by the corpus budget allocator)
+    # ------------------------------------------------------------------
+    @property
+    def sequence_name(self) -> str:
+        return self._sequence.name
+
+    @property
+    def n_frames(self) -> int:
+        return len(self._sequence)
+
+    @property
+    def frames_sampled(self) -> int:
+        """Frames processed by the deep model so far (uniform + adaptive)."""
+        return len(self._sampled)
+
+    @property
+    def remaining(self) -> int:
+        """Adaptive budget left before hitting the session's cap."""
+        if self._tree is None or self._exhausted:
+            return 0
+        return max(0, self.budget - len(self._sampled))
+
+    @property
+    def can_sample(self) -> bool:
+        """Whether another :meth:`step` could still sample frames."""
+        return self.remaining > 0
+
+    def mean_reward(self) -> float:
+        """Mean adaptive reward per sampled frame (NaN before any step)."""
+        if not self.rewards:
+            return float("nan")
+        return float(sum(self.rewards) / len(self.rewards))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def step(self, max_frames: int) -> list[float]:
+        """Adaptively sample up to ``max_frames`` frames; return rewards.
+
+        Each round selects a wave of up to ``wave_size`` leaves (UCB
+        statistics frozen within the round), submits the whole candidate
+        set to the inference engine so pool workers overlap, then scores
+        and records the rewards in selection order.  A wave of 1 is
+        exactly the paper's sequential Alg. 2.  Returns fewer rewards
+        than requested when the budget cap or the segment tree is
+        exhausted (the latter marks the session unavailable).
+        """
+        sampler = self._sampler
+        config = sampler.config
+        ledger = self.ledger
+        tree = self._tree
+        before = len(self.rewards)
+        remaining = min(int(max_frames), self.remaining)
         while remaining > 0:
+            assert tree is not None  # remaining > 0 implies a tree
             wave: list[tuple[list, int]] = []
             pending: set[int] = set()
             with ledger.measure(STAGE_POLICY):
                 while len(wave) < min(config.wave_size, remaining):
                     selection = tree.select(
-                        lambda f: f in sampled_set or f in pending
+                        lambda f: f in self._sampled_set or f in pending
                     )
                     if selection is None:
                         break  # every segment exhausted (budget ~ length)
@@ -318,39 +424,48 @@ class HierarchicalMultiAgentSampler(BaseSampler):
                     pending.add(frame_id)
                     wave.append((path, frame_id))
             if not wave:
+                self._exhausted = True
                 break
-            self._detect_wave(
-                sequence, [fid for _, fid in wave], model, detections, ledger, engine
+            sampler._detect_wave(
+                self._sequence, [fid for _, fid in wave], self._model,
+                self._detections, ledger, self._engine,
             )
             for path, frame_id in wave:
-                actual = detections[frame_id]
+                actual = self._detections[frame_id]
                 with ledger.measure(STAGE_POLICY):
-                    reward = self._adaptive_reward(
-                        sequence, sampled, detections, frame_id, actual,
-                        self.reward_kind,
+                    reward = sampler._adaptive_reward(
+                        self._sequence, self._sampled, self._detections,
+                        frame_id, actual, sampler.reward_kind,
                     )
                     tree.record(path, frame_id, reward)
-                    bisect.insort(sampled, frame_id)
-                    sampled_set.add(frame_id)
-                    rewards.append(reward)
+                    bisect.insort(self._sampled, frame_id)
+                    self._sampled_set.add(frame_id)
+                    self.rewards.append(reward)
                 remaining -= 1
+        return self.rewards[before:]
 
+    def result(self) -> SamplingResult:
+        """Snapshot the session as a :class:`SamplingResult`."""
+        policy_info: dict = {
+            "sampler": self._sampler.name,
+            "reward_kind": self._sampler.reward_kind,
+        }
+        if self._tree is not None:
+            policy_info.update(
+                tree_depth=self._tree.depth_reached(),
+                tree_nodes=self._tree.n_nodes(),
+                tree_leaves=len(self._tree.leaves()),
+            )
         return SamplingResult(
-            sequence_name=sequence.name,
-            n_frames=n_frames,
-            timestamps=sequence.timestamps,
-            budget=budget,
-            sampled_ids=np.asarray(sampled, dtype=np.int64),
-            detections=detections,
-            rewards=rewards,
-            ledger=ledger,
-            policy_info={
-                "sampler": self.name,
-                "reward_kind": self.reward_kind,
-                "tree_depth": tree.depth_reached(),
-                "tree_nodes": tree.n_nodes(),
-                "tree_leaves": len(tree.leaves()),
-            },
+            sequence_name=self._sequence.name,
+            n_frames=self.n_frames,
+            timestamps=self._sequence.timestamps,
+            budget=self.budget,
+            sampled_ids=np.asarray(self._sampled, dtype=np.int64),
+            detections=self._detections,
+            rewards=list(self.rewards),
+            ledger=self.ledger,
+            policy_info=policy_info,
         )
 
 

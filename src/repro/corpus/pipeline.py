@@ -1,0 +1,250 @@
+"""Corpus pipeline: per-sequence MAST shards under one budget policy.
+
+:class:`CorpusPipeline` generalizes :class:`~repro.MASTPipeline` to a
+:class:`~repro.corpus.catalog.SequenceCatalog`:
+
+* **sampling** opens one resumable
+  :class:`~repro.core.sampler.AdaptiveSamplingSession` per sequence and
+  hands them to a :class:`~repro.corpus.allocator.BudgetAllocator`,
+  so a root-level policy (uniform split or UCB) decides how the shared
+  adaptive budget is spread across sequences;
+* **inference** runs through one shared
+  :class:`~repro.inference.InferenceEngine` — every shard uses the same
+  executor pool and the same cross-run
+  :class:`~repro.inference.DetectionStore`;
+* **indexing / querying** adopts each session's result into a
+  per-sequence :class:`~repro.MASTPipeline` shard
+  (:meth:`~repro.MASTPipeline.fit_from_sampling`), so everything
+  downstream of sampling is exactly the single-sequence stack;
+* **routing**: :meth:`query` accepts scoped query text
+  (``... IN SEQUENCE <name>``) or :class:`~repro.query.ast.ScopedQuery`
+  objects; a named scope routes to that shard, no scope fans out over
+  the whole catalog and merges exactly
+  (:mod:`repro.corpus.results`).
+
+With a one-sequence catalog every answer is bit-identical to the
+single-sequence pipeline on that sequence, for both budget policies.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.config import MASTConfig
+from repro.core.pipeline import MASTPipeline
+from repro.core.sampler import (
+    AdaptiveSamplingSession,
+    HierarchicalMultiAgentSampler,
+)
+from repro.corpus.allocator import AllocationReport, BudgetAllocator, make_allocator
+from repro.corpus.catalog import SequenceCatalog
+from repro.corpus.results import (
+    CorpusAggregateResult,
+    CorpusRetrievalResult,
+    merge_aggregates,
+    merge_retrievals,
+)
+from repro.inference import DetectionStore, InferenceEngine
+from repro.models.base import DetectionModel
+from repro.query.ast import (
+    AggregateQuery,
+    AggregateResult,
+    CompoundRetrievalQuery,
+    RetrievalQuery,
+    RetrievalResult,
+    ScopedQuery,
+)
+from repro.query.parser import parse_scoped_query
+from repro.utils.timing import CostLedger
+from repro.utils.validation import require
+
+__all__ = ["CorpusPipeline"]
+
+#: A single shard's answer.
+ShardResult = Union[RetrievalResult, AggregateResult]
+#: What :meth:`CorpusPipeline.query` can return.
+CorpusResult = Union[
+    RetrievalResult, AggregateResult, CorpusRetrievalResult, CorpusAggregateResult
+]
+
+
+class CorpusPipeline:
+    """Sampling + indexing + scoped querying over a sequence catalog."""
+
+    def __init__(
+        self,
+        catalog: SequenceCatalog,
+        config: MASTConfig | None = None,
+        *,
+        policy: str | BudgetAllocator = "uniform",
+        round_size: int = 8,
+        engine: InferenceEngine | None = None,
+        detection_store: DetectionStore | None = None,
+    ) -> None:
+        require(len(catalog) >= 1, "catalog must register at least one sequence")
+        self.catalog = catalog
+        self.config = config or MASTConfig()
+        if isinstance(policy, str):
+            self.allocator: BudgetAllocator = make_allocator(
+                policy, self.config, round_size=round_size
+            )
+        else:
+            self.allocator = policy
+        # Shards share one engine (one executor pool, one detection
+        # store); a caller-provided engine is borrowed, otherwise the
+        # corpus owns one for its lifetime.
+        self._owns_engine = engine is None
+        self.engine = engine or InferenceEngine.from_config(
+            self.config, store=detection_store
+        )
+        #: Corpus-level ledger (costs not attributable to one shard).
+        self.ledger = CostLedger()
+        self._shards: dict[str, MASTPipeline] = {}
+        self.allocation: AllocationReport | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, model: DetectionModel) -> CorpusPipeline:
+        """Sample every sequence under the budget policy; build shards."""
+        sampler = HierarchicalMultiAgentSampler(self.config)
+        names = self.catalog.names()
+        sessions: list[AdaptiveSamplingSession] = []
+        for name in names:
+            sequence = self.catalog.sequence(name)
+            sessions.append(
+                sampler.session(
+                    sequence,
+                    model,
+                    engine=self.engine,
+                    ledger=CostLedger(),
+                    budget=self.allocator.session_budget(len(sequence)),
+                )
+            )
+        self.allocation = self.allocator.run(sessions)
+        self._shards = {}
+        for name, session in zip(names, sessions):
+            shard = MASTPipeline(self.config, engine=self.engine)
+            # The shard's ledger is the session's, so each sequence's
+            # sampling, indexing and query costs roll up in one place.
+            shard.ledger = session.ledger
+            shard.fit_from_sampling(
+                self.catalog.sequence(name), model, session.result()
+            )
+            self._shards[name] = shard
+        return self
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Sequence names, in catalog order."""
+        return self.catalog.names()
+
+    @property
+    def shards(self) -> dict[str, MASTPipeline]:
+        """Sequence name -> fitted per-sequence pipeline."""
+        require(bool(self._shards), "fit() must be called before using shards")
+        return dict(self._shards)
+
+    def shard(self, name: str) -> MASTPipeline:
+        """The fitted pipeline of one sequence."""
+        require(bool(self._shards), "fit() must be called before using shards")
+        require(
+            name in self._shards,
+            f"unknown sequence {name!r}; corpus has {sorted(self._shards)}",
+        )
+        return self._shards[name]
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def _coerce(self, query: object) -> ScopedQuery:
+        if isinstance(query, str):
+            return parse_scoped_query(query)
+        if isinstance(query, ScopedQuery):
+            return query
+        if isinstance(
+            query, (RetrievalQuery, CompoundRetrievalQuery, AggregateQuery)
+        ):
+            return ScopedQuery(query)
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def query(self, query: object) -> CorpusResult:
+        """Answer one (possibly scoped) query.
+
+        A named scope returns the shard's plain result; an unscoped
+        query fans out over every sequence in catalog order and returns
+        the merged corpus result.
+        """
+        scoped = self._coerce(query)
+        if scoped.sequence is not None:
+            return self.shard(scoped.sequence).query(scoped.query)
+        per_shard = {
+            name: self.shard(name).query(scoped.query) for name in self.names
+        }
+        return self._merge(scoped.query, per_shard)
+
+    @staticmethod
+    def _merge(
+        query: object, per_shard: dict[str, ShardResult]
+    ) -> CorpusRetrievalResult | CorpusAggregateResult:
+        if isinstance(query, AggregateQuery):
+            aggregates = {
+                name: result
+                for name, result in per_shard.items()
+                if isinstance(result, AggregateResult)
+            }
+            return merge_aggregates(query, aggregates)
+        assert isinstance(query, (RetrievalQuery, CompoundRetrievalQuery))
+        retrievals = {
+            name: result
+            for name, result in per_shard.items()
+            if isinstance(result, RetrievalResult)
+        }
+        return merge_retrievals(query, retrievals)
+
+    def query_many(self, queries) -> list[CorpusResult]:
+        """Answer a list of (possibly scoped) queries in order."""
+        return [self.query(q) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def cost_summary(self) -> dict[str, float]:
+        """Stage -> seconds rolled up across every shard."""
+        merged = CostLedger()
+        merged.merge(self.ledger)
+        for shard in self._shards.values():
+            merged.merge(shard.ledger)
+        return merged.summary()
+
+    def cost_summary_by_sequence(self) -> dict[str, dict[str, float]]:
+        """Per-sequence stage -> seconds summaries."""
+        return {
+            name: shard.ledger.summary() for name, shard in self._shards.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the shared engine if the corpus owns it."""
+        for shard in self._shards.values():
+            shard.close()  # no-op: shards borrow the corpus engine
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> CorpusPipeline:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fitted = sorted(self._shards) if self._shards else "unfitted"
+        return (
+            f"CorpusPipeline(sequences={list(self.names)}, "
+            f"policy={self.allocator.name!r}, shards={fitted})"
+        )

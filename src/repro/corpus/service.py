@@ -1,0 +1,230 @@
+"""Sharded query serving over a fitted :class:`CorpusPipeline`.
+
+:class:`CorpusQueryService` fronts one :class:`~repro.serving.QueryService`
+per sequence shard.  Scoped queries route to their shard's service;
+unscoped queries fan out over every shard and merge exactly
+(:mod:`repro.corpus.results`).  Each shard keeps its own
+:class:`~repro.serving.cache.CountSeriesCache` — count series are
+per-sequence data, so sharding the cache removes all cross-sequence
+contention — and the corpus exposes rollups of the per-shard
+:class:`~repro.serving.cache.CacheStats` and cost ledgers.
+
+:meth:`execute_batch` preserves submission order and keeps the serving
+layer's batching wins: the (possibly mixed scoped/fan-out) workload is
+regrouped into one per-shard sub-batch, so each shard still computes
+every distinct count series exactly once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Union
+
+from repro.corpus.pipeline import CorpusPipeline, CorpusResult, ShardResult
+from repro.corpus.results import merge_aggregates, merge_retrievals
+from repro.data.frame import PointCloudFrame
+from repro.models.base import DetectionModel
+from repro.query.ast import (
+    AggregateQuery,
+    AggregateResult,
+    CompoundRetrievalQuery,
+    RetrievalQuery,
+    ScopedQuery,
+)
+from repro.query.parser import parse_scoped_query
+from repro.serving.cache import CacheStats
+from repro.serving.service import QueryService
+from repro.utils.timing import CostLedger
+from repro.utils.validation import require
+
+__all__ = ["CorpusQueryService"]
+
+#: Inputs :meth:`CorpusQueryService.execute` accepts.
+CorpusQuery = Union[
+    str, ScopedQuery, RetrievalQuery, CompoundRetrievalQuery, AggregateQuery
+]
+
+
+class CorpusQueryService:
+    """Route scoped workloads to per-shard services; merge fan-outs."""
+
+    def __init__(
+        self,
+        corpus: CorpusPipeline,
+        *,
+        max_cache_entries: int = 512,
+        max_workers: int = 8,
+    ) -> None:
+        self._corpus = corpus
+        self._services = {
+            name: QueryService(
+                shard,
+                max_cache_entries=max_cache_entries,
+                max_workers=max_workers,
+            )
+            for name, shard in corpus.shards.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> CorpusPipeline:
+        return self._corpus
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Shard names, in catalog order."""
+        return self._corpus.names
+
+    def service(self, name: str) -> QueryService:
+        """The per-shard service of one sequence."""
+        require(
+            name in self._services,
+            f"unknown sequence {name!r}; corpus has {sorted(self._services)}",
+        )
+        return self._services[name]
+
+    def cache_stats(self) -> CacheStats:
+        """Corpus-wide rollup of the per-shard cache counters."""
+        total = CacheStats()
+        for service in self._services.values():
+            total = total + service.cache_stats()
+        return total
+
+    def cache_stats_by_sequence(self) -> dict[str, CacheStats]:
+        """Per-shard cache counters."""
+        return {
+            name: service.cache_stats()
+            for name, service in self._services.items()
+        }
+
+    def cost_summary(self) -> dict[str, float]:
+        """Stage -> seconds rolled up across every shard ledger."""
+        merged = CostLedger()
+        merged.merge(self._corpus.ledger)
+        for service in self._services.values():
+            merged.merge(service.ledger)
+        return merged.summary()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _coerce(self, query: CorpusQuery) -> ScopedQuery:
+        if isinstance(query, str):
+            return parse_scoped_query(query)
+        if isinstance(query, ScopedQuery):
+            return query
+        if isinstance(
+            query, (RetrievalQuery, CompoundRetrievalQuery, AggregateQuery)
+        ):
+            return ScopedQuery(query)
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def execute(self, query: CorpusQuery) -> CorpusResult:
+        """Answer one (possibly scoped) query through the shard caches."""
+        scoped = self._coerce(query)
+        if scoped.sequence is not None:
+            return self.service(scoped.sequence).execute(scoped.query)
+        per_shard = {
+            name: self._services[name].execute(scoped.query)
+            for name in self.names
+        }
+        return CorpusPipeline._merge(scoped.query, per_shard)
+
+    def execute_many(self, queries: Iterable[CorpusQuery]) -> list[CorpusResult]:
+        """Answer a list of queries serially, in order."""
+        return [self.execute(q) for q in queries]
+
+    def execute_batch(
+        self, queries: Iterable[CorpusQuery], *, max_workers: int | None = None
+    ) -> list[CorpusResult]:
+        """Answer a mixed scoped/fan-out workload, batched per shard.
+
+        Queries regroup into one sub-batch per shard (a fan-out query
+        joins every shard's sub-batch), each shard answers its sub-batch
+        through :meth:`QueryService.execute_batch` — distinct count
+        series computed once per shard — and answers reassemble in
+        submission order, fan-outs merging across shards.
+        """
+        scoped_list = [self._coerce(q) for q in queries]
+        names = self.names
+        jobs: dict[str, list[tuple[int, object]]] = {name: [] for name in names}
+        for position, scoped in enumerate(scoped_list):
+            if scoped.sequence is not None:
+                require(
+                    scoped.sequence in jobs,
+                    f"unknown sequence {scoped.sequence!r}; "
+                    f"corpus has {sorted(jobs)}",
+                )
+                jobs[scoped.sequence].append((position, scoped.query))
+            else:
+                for name in names:
+                    jobs[name].append((position, scoped.query))
+
+        shard_answers: dict[int, dict[str, ShardResult]] = {
+            position: {} for position in range(len(scoped_list))
+        }
+        for name, entries in jobs.items():
+            if not entries:
+                continue
+            answers = self._services[name].execute_batch(
+                [query for _, query in entries], max_workers=max_workers
+            )
+            for (position, _), answer in zip(entries, answers):
+                shard_answers[position][name] = answer
+
+        results: list[CorpusResult] = []
+        for position, scoped in enumerate(scoped_list):
+            per_shard = shard_answers[position]
+            if scoped.sequence is not None:
+                results.append(per_shard[scoped.sequence])
+            elif isinstance(scoped.query, AggregateQuery):
+                results.append(
+                    merge_aggregates(
+                        scoped.query,
+                        {name: per_shard[name] for name in names},  # type: ignore[misc]
+                    )
+                )
+            else:
+                results.append(
+                    merge_retrievals(
+                        scoped.query,
+                        {name: per_shard[name] for name in names},  # type: ignore[misc]
+                    )
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # Extension
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        name: str,
+        new_frames: list[PointCloudFrame],
+        *,
+        model: DetectionModel | None = None,
+    ) -> CorpusQueryService:
+        """Ingest a frame batch into one shard (incremental invalidation)."""
+        self.service(name).extend(new_frames, model=model)
+        return self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down every shard service's worker pool (idempotent)."""
+        for service in self._services.values():
+            service.close()
+
+    def __enter__(self) -> CorpusQueryService:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CorpusQueryService(sequences={list(self.names)}, "
+            f"{self.cache_stats().describe()})"
+        )

@@ -11,6 +11,11 @@ from repro.evalx.bounds import (
     observed_errors,
     piecewise_linear_approximation,
 )
+from repro.evalx.corpus import (
+    CorpusExperimentReport,
+    CorpusPolicyReport,
+    run_corpus_experiment,
+)
 from repro.evalx.intervals import (
     SUPPORTED_OPERATORS,
     ConfidenceInterval,
@@ -58,6 +63,8 @@ __all__ = [
     "b_constant",
     "budget_for_average_error",
     "c_constant",
+    "CorpusExperimentReport",
+    "CorpusPolicyReport",
     "compute_error_bounds",
     "estimate_lipschitz",
     "extrema_coverage",
@@ -70,6 +77,7 @@ __all__ = [
     "observed_errors",
     "piecewise_linear_approximation",
     "precision_recall_f1",
+    "run_corpus_experiment",
     "run_experiment",
     "sampling_density_profile",
     "selectivity",

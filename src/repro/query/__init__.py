@@ -16,9 +16,10 @@ from repro.query.ast import (
     ConditionOr,
     RetrievalQuery,
     RetrievalResult,
+    ScopedQuery,
 )
 from repro.query.engine import CountProvider, QueryEngine
-from repro.query.parser import QuerySyntaxError, parse_query
+from repro.query.parser import QuerySyntaxError, parse_query, parse_scoped_query
 from repro.query.predicates import (
     DEFAULT_CONFIDENCE,
     CountPredicate,
@@ -63,6 +64,7 @@ __all__ = [
     "RegionPredicate",
     "RetrievalQuery",
     "RetrievalResult",
+    "ScopedQuery",
     "SectorPredicate",
     "SpatialFilter",
     "SpatialPredicate",
@@ -74,6 +76,7 @@ __all__ = [
     "generate_retrieval_workload",
     "generate_workload",
     "parse_query",
+    "parse_scoped_query",
     "register_aggregate",
     "register_spatial_operator",
     "requires_count_predicate",

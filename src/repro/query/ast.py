@@ -13,6 +13,7 @@ frozen/hashable so engines can memoize per-query work.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +30,7 @@ __all__ = [
     "ConditionAnd",
     "ConditionOr",
     "CompoundRetrievalQuery",
+    "ScopedQuery",
 ]
 
 
@@ -150,6 +152,53 @@ class AggregateQuery:
                 f"{self.count_predicate.op} {self.count_predicate.threshold:g}"
             )
         return f"SELECT {self.operator.upper()} OF COUNT({self.object_filter.describe()})"
+
+
+def _quote_sequence_name(name: str) -> str:
+    """Render a sequence name for the scope clause (quoted if needed).
+
+    Names that tokenize back to themselves (identifier optionally
+    followed by ``-``-joined alphanumeric runs, like
+    ``semantickitti-00`` or ``once-01-n64``) stay bare; anything else
+    is single-quoted so ``describe()`` output round-trips through
+    :func:`repro.query.parser.parse_scoped_query`.
+    """
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*(-[A-Za-z0-9_]+)*", name):
+        return name
+    if "'" not in name:
+        return f"'{name}'"
+    return f'"{name}"'
+
+
+@dataclass(frozen=True)
+class ScopedQuery:
+    """A query plus an optional corpus sequence scope.
+
+    ``sequence`` names one registered sequence of a
+    :class:`~repro.corpus.SequenceCatalog` (``IN SEQUENCE <name>``);
+    ``None`` means the query fans out over every sequence (the default,
+    also written explicitly as ``IN ALL SEQUENCES``).  Single-sequence
+    executors reject scoped queries — the scope only means something to
+    the corpus layer.
+    """
+
+    query: RetrievalQuery | CompoundRetrievalQuery | AggregateQuery
+    sequence: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(
+            self.query, (RetrievalQuery, CompoundRetrievalQuery, AggregateQuery)
+        ):
+            raise TypeError(
+                f"ScopedQuery wraps a parsed query, got {type(self.query).__name__}"
+            )
+        if self.sequence is not None and not self.sequence:
+            raise ValueError("sequence scope must be a non-empty name or None")
+
+    def describe(self) -> str:
+        if self.sequence is None:
+            return self.query.describe()
+        return f"{self.query.describe()} IN SEQUENCE {_quote_sequence_name(self.sequence)}"
 
 
 @dataclass(frozen=True)

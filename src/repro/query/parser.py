@@ -33,6 +33,16 @@ Extensions beyond the paper's templates:
 
       SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3
                       AND COUNT(Pedestrian DIST <= 15) >= 1
+
+* an optional corpus sequence scope, parsed by
+  :func:`parse_scoped_query` (the sharded corpus layer routes on it;
+  :func:`parse_query` — the single-sequence surface — rejects it)::
+
+      SELECT FRAMES WHERE COUNT(Car) >= 3 IN SEQUENCE semantickitti-00
+      SELECT AVG OF COUNT(Car DIST <= 10) IN ALL SEQUENCES
+
+  Bare scope names may chain identifiers and ``-<digits>`` runs; any
+  other name must be quoted: ``IN SEQUENCE 'city/rush-hour.v2'``.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from repro.query.ast import (
     ConditionAnd,
     ConditionOr,
     RetrievalQuery,
+    ScopedQuery,
 )
 from repro.query.predicates import (
     DEFAULT_CONFIDENCE,
@@ -62,7 +73,7 @@ from repro.query.spatial import (
     spatial_operator_arg_count,
 )
 
-__all__ = ["parse_query", "QuerySyntaxError"]
+__all__ = ["parse_query", "parse_scoped_query", "QuerySyntaxError"]
 
 
 class QuerySyntaxError(ValueError):
@@ -71,8 +82,10 @@ class QuerySyntaxError(ValueError):
 
 _TOKEN_RE = re.compile(
     r"""
-    (?P<NUMBER>-?\d+(\.\d+)?)
+    (?P<STRING>'[^']*'|"[^"]*")
+  | (?P<NUMBER>-?\d+(\.\d+)?)
   | (?P<CMP><=|>=|<|>)
+  | (?P<DASH>-)
   | (?P<LPAREN>\()
   | (?P<RPAREN>\))
   | (?P<STAR>\*)
@@ -152,6 +165,17 @@ class _Parser:
     # Grammar
     # ------------------------------------------------------------------
     def parse(self) -> RetrievalQuery | CompoundRetrievalQuery | AggregateQuery:
+        query, scope = self._parse_with_scope(allow_scope=False)
+        assert scope is None
+        return query
+
+    def parse_scoped(self) -> ScopedQuery:
+        query, scope = self._parse_with_scope(allow_scope=True)
+        return ScopedQuery(query, sequence=scope)
+
+    def _parse_with_scope(
+        self, *, allow_scope: bool
+    ) -> tuple[RetrievalQuery | CompoundRetrievalQuery | AggregateQuery, str | None]:
         self._expect_keyword("SELECT")
         if self._match_keyword("FRAMES"):
             self._expect_keyword("WHERE")
@@ -164,13 +188,62 @@ class _Parser:
                 query = CompoundRetrievalQuery(condition)
         else:
             query = self._aggregate()
+        scope = self._sequence_scope() if allow_scope else None
         if self._peek() is not None:
             trailing = self._peek()
             raise QuerySyntaxError(
                 f"unexpected trailing input {trailing.text!r} "
                 f"at position {trailing.position}"
             )
-        return query
+        return query, scope
+
+    # ------------------------------------------------------------------
+    # Corpus scope: ``IN SEQUENCE <name>`` / ``IN ALL SEQUENCES``.
+    # ------------------------------------------------------------------
+    def _sequence_scope(self) -> str | None:
+        if not self._match_keyword("IN"):
+            return None
+        if self._match_keyword("ALL"):
+            self._expect_keyword("SEQUENCES")
+            return None
+        self._expect_keyword("SEQUENCE")
+        return self._sequence_name()
+
+    def _sequence_name(self) -> str:
+        """A scope name: a quoted string, or adjacent bare tokens.
+
+        Bare names join consecutive IDENT / NUMBER / ``-`` tokens with
+        no whitespace between them, so ``semantickitti-00`` (tokenized
+        as ``semantickitti`` + ``-00``) and ``once-01-n64`` read back as
+        one name.
+        """
+        token = self._next()
+        if token.kind == "STRING":
+            name = token.text[1:-1]
+            if not name:
+                raise QuerySyntaxError(
+                    f"empty sequence name at position {token.position}"
+                )
+            return name
+        if token.kind != "IDENT":
+            raise QuerySyntaxError(
+                f"expected a sequence name at position {token.position}, "
+                f"got {token.text!r}"
+            )
+        name = token.text
+        end = token.position + len(token.text)
+        while True:
+            following = self._peek()
+            if (
+                following is None
+                or following.kind not in ("IDENT", "NUMBER", "DASH")
+                or following.position != end
+            ):
+                break
+            self.position += 1
+            name += following.text
+            end = following.position + len(following.text)
+        return name
 
     def _aggregate(self) -> AggregateQuery:
         token = self._expect_kind("IDENT", "an aggregate operator")
@@ -209,12 +282,26 @@ class _Parser:
         return ConditionOr(tuple(terms))
 
     def _and_expr(self):
-        terms = [self._leaf_condition()]
+        terms = [self._condition_term()]
         while self._match_keyword("AND"):
-            terms.append(self._leaf_condition())
+            terms.append(self._condition_term())
         if len(terms) == 1:
             return terms[0]
         return ConditionAnd(tuple(terms))
+
+    def _condition_term(self):
+        """A leaf condition or a parenthesized condition group.
+
+        ``describe()`` parenthesizes nested AND/OR groups, so the
+        grammar must accept them back for round-tripping.
+        """
+        token = self._peek()
+        if token is not None and token.kind == "LPAREN":
+            self.position += 1
+            inner = self._condition_expr()
+            self._expect_kind("RPAREN", "')'")
+            return inner
+        return self._leaf_condition()
 
     def _leaf_condition(self) -> Condition:
         object_filter = self._count_expr()
@@ -289,8 +376,23 @@ def _resolve_operator(text: str) -> str | None:
 def parse_query(text: str) -> RetrievalQuery | AggregateQuery:
     """Parse query text into a query object.
 
-    Raises :class:`QuerySyntaxError` (a ``ValueError``) on malformed input.
+    Raises :class:`QuerySyntaxError` (a ``ValueError``) on malformed
+    input — including a sequence scope, which only the corpus layer
+    (via :func:`parse_scoped_query`) knows how to route.
     """
     if not isinstance(text, str) or not text.strip():
         raise QuerySyntaxError("query text must be a non-empty string")
     return _Parser(text).parse()
+
+
+def parse_scoped_query(text: str) -> ScopedQuery:
+    """Parse query text that may carry a corpus sequence scope.
+
+    Always returns a :class:`~repro.query.ast.ScopedQuery`;
+    ``.sequence`` is ``None`` for unscoped text and for an explicit
+    ``IN ALL SEQUENCES``.  Raises :class:`QuerySyntaxError` (a
+    ``ValueError``) on malformed input.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise QuerySyntaxError("query text must be a non-empty string")
+    return _Parser(text).parse_scoped()

@@ -143,4 +143,6 @@ class ObjectFilter:
         parts = [self.label or "*"]
         if self.spatial is not None:
             parts.append(self.spatial.describe())
+        if self.confidence != DEFAULT_CONFIDENCE:
+            parts.append(f"conf {self.confidence:g}")
         return " ".join(parts)

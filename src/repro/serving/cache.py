@@ -47,6 +47,20 @@ class CacheStats:
     entries: int = 0
     bytes: int = 0
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Component-wise sum, for corpus-level rollups of shard caches."""
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            partial_hits=self.partial_hits + other.partial_hits,
+            evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
+            entries=self.entries + other.entries,
+            bytes=self.bytes + other.bytes,
+        )
+
     @property
     def lookups(self) -> int:
         """Total lookups served (hits + partial hits + misses)."""

@@ -1,0 +1,28 @@
+"""Shared fixtures for the corpus-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MASTConfig
+from repro.corpus import SequenceCatalog, SequenceSpec
+from repro.models import pv_rcnn
+
+
+@pytest.fixture()
+def config() -> MASTConfig:
+    return MASTConfig(budget_fraction=0.15, seed=7)
+
+
+@pytest.fixture()
+def model():
+    return pv_rcnn(seed=5)
+
+
+@pytest.fixture()
+def catalog() -> SequenceCatalog:
+    """A small two-sequence corpus (kitti-shaped + once-shaped)."""
+    catalog = SequenceCatalog()
+    catalog.register(SequenceSpec("semantickitti", 0, n_frames=60))
+    catalog.register(SequenceSpec("once", 0, n_frames=48))
+    return catalog

@@ -1,0 +1,124 @@
+"""Budget allocators: equal-total-spend invariant and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sampler import HierarchicalMultiAgentSampler
+from repro.corpus import make_allocator
+from repro.corpus.allocator import UCBAllocator, UniformAllocator
+from repro.inference import InferenceEngine
+
+
+def _open_sessions(catalog, config, model, allocator, engine):
+    sampler = HierarchicalMultiAgentSampler(config)
+    return [
+        sampler.session(
+            catalog.sequence(name),
+            model,
+            engine=engine,
+            budget=allocator.session_budget(len(catalog.sequence(name))),
+        )
+        for name in catalog.names()
+    ]
+
+
+@pytest.fixture()
+def engine(config):
+    with InferenceEngine.from_config(config) as engine:
+        yield engine
+
+
+class TestUniformAllocator:
+    def test_each_sequence_spends_its_paper_budget(
+        self, catalog, config, model, engine
+    ):
+        allocator = UniformAllocator()
+        sessions = _open_sessions(catalog, config, model, allocator, engine)
+        report = allocator.run(sessions)
+        for name in catalog.names():
+            expected = config.budget_for(catalog.n_frames(name))
+            assert report.frames_by_sequence[name] == expected
+        assert report.policy == "uniform"
+
+    def test_session_budget_defaults_to_paper_budget(self):
+        assert UniformAllocator().session_budget(100) is None
+
+
+class TestUCBAllocator:
+    def test_total_spend_equals_uniform_total(
+        self, catalog, config, model, engine
+    ):
+        uniform_total = sum(
+            config.budget_for(catalog.n_frames(name))
+            for name in catalog.names()
+        )
+        allocator = UCBAllocator(config, round_size=4)
+        sessions = _open_sessions(catalog, config, model, allocator, engine)
+        report = allocator.run(sessions)
+        assert report.total_frames == uniform_total
+
+    def test_sessions_open_at_capacity(self, config):
+        allocator = UCBAllocator(config)
+        assert allocator.session_budget(100) == 100
+        # Tiny sequences still satisfy the session's minimum budget.
+        assert allocator.session_budget(1) == 2
+
+    def test_round_size_validated(self, config):
+        with pytest.raises(ValueError, match="round_size"):
+            UCBAllocator(config, round_size=0)
+
+    def test_runs_are_deterministic(self, catalog, config, model, engine):
+        def run_once():
+            allocator = UCBAllocator(config, round_size=4)
+            sessions = _open_sessions(
+                catalog, config, model, allocator, engine
+            )
+            return allocator.run(sessions).frames_by_sequence
+
+        assert run_once() == run_once()
+
+
+class TestAllocationReport:
+    def test_report_is_internally_consistent(
+        self, catalog, config, model, engine
+    ):
+        allocator = UCBAllocator(config, round_size=4)
+        sessions = _open_sessions(catalog, config, model, allocator, engine)
+        report = allocator.run(sessions)
+        for name in catalog.names():
+            assert report.frames_by_sequence[name] == (
+                report.uniform_by_sequence[name]
+                + report.adaptive_by_sequence[name]
+            )
+            assert report.adaptive_by_sequence[name] >= 0
+        assert report.total_frames == sum(
+            report.frames_by_sequence.values()
+        )
+        assert report.rounds >= 1
+
+    def test_as_dict_and_describe(self, catalog, config, model, engine):
+        allocator = UniformAllocator()
+        sessions = _open_sessions(catalog, config, model, allocator, engine)
+        report = allocator.run(sessions)
+        payload = report.as_dict()
+        assert payload["policy"] == "uniform"
+        assert payload["total_frames"] == report.total_frames
+        assert set(payload["frames_by_sequence"]) == set(catalog.names())
+        text = report.describe()
+        for name in catalog.names():
+            assert name in text
+
+
+class TestMakeAllocator:
+    def test_builds_by_name(self, config):
+        assert isinstance(
+            make_allocator("uniform", config), UniformAllocator
+        )
+        ucb = make_allocator("ucb", config, round_size=3)
+        assert isinstance(ucb, UCBAllocator)
+        assert ucb.round_size == 3
+
+    def test_unknown_policy_rejected(self, config):
+        with pytest.raises(ValueError, match="policy"):
+            make_allocator("greedy", config)

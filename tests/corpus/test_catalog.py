@@ -1,0 +1,113 @@
+"""SequenceCatalog: registration, lazy builds, metadata."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import SequenceCatalog, SequenceSpec
+from repro.simulation import semantickitti_like
+
+
+class TestSequenceSpec:
+    def test_derived_name_matches_factory(self):
+        spec = SequenceSpec("semantickitti", 0, n_frames=60)
+        assert spec.resolved_name() == "semantickitti-00-n60"
+        assert spec.build().name == "semantickitti-00-n60"
+
+    def test_paper_length_name_has_no_suffix(self):
+        spec = SequenceSpec("once", 1)
+        assert spec.resolved_name() == "once-01"
+
+    def test_explicit_name_renames_built_sequence(self):
+        spec = SequenceSpec("semantickitti", 0, n_frames=40, name="highway")
+        sequence = spec.build()
+        assert sequence.name == "highway"
+        assert len(sequence) == 40
+
+    def test_world_overrides_change_content(self):
+        base = SequenceSpec("semantickitti", 0, n_frames=40)
+        dense = SequenceSpec(
+            "semantickitti", 0, n_frames=40, name="dense",
+            world_overrides=(("base_spawn_rate", 3.0),),
+        )
+        base_counts = [len(f.ground_truth) for f in base.build()]
+        dense_counts = [len(f.ground_truth) for f in dense.build()]
+        assert sum(dense_counts) > sum(base_counts)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            SequenceSpec("waymo", 0, n_frames=10)
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceSpec("once", 0, n_frames=0)
+        with pytest.raises(ValueError):
+            SequenceSpec("once", 0, length_scale=0.0)
+
+
+class TestSequenceCatalog:
+    def test_registration_order_preserved(self):
+        catalog = SequenceCatalog()
+        catalog.register(SequenceSpec("once", 1, n_frames=30))
+        catalog.register(SequenceSpec("semantickitti", 0, n_frames=30))
+        assert catalog.names() == ("once-01-n30", "semantickitti-00-n30")
+        assert list(catalog) == list(catalog.names())
+        assert len(catalog) == 2
+
+    def test_lazy_build_and_reuse(self):
+        catalog = SequenceCatalog()
+        name = catalog.register(SequenceSpec("semantickitti", 0, n_frames=30))
+        assert catalog.metadata(name)["built"] is False
+        first = catalog.sequence(name)
+        assert catalog.metadata(name)["built"] is True
+        assert catalog.sequence(name) is first
+
+    def test_builds_are_deterministic(self):
+        spec = SequenceSpec("once", 0, n_frames=30)
+        a = SequenceCatalog()
+        b = SequenceCatalog()
+        name = a.register(spec)
+        b.register(spec)
+        seq_a, seq_b = a.sequence(name), b.sequence(name)
+        for frame_a, frame_b in zip(seq_a, seq_b):
+            assert np.array_equal(
+                frame_a.ground_truth.centers, frame_b.ground_truth.centers
+            )
+
+    def test_register_prebuilt_sequence(self):
+        catalog = SequenceCatalog()
+        sequence = semantickitti_like(0, n_frames=24, with_points=False)
+        name = catalog.register_sequence(sequence)
+        assert name == sequence.name
+        assert catalog.sequence(name) is sequence
+        assert catalog.metadata(name)["built"] is True
+        assert catalog.metadata(name)["dataset"] == "prebuilt"
+
+    def test_duplicate_name_rejected(self):
+        catalog = SequenceCatalog()
+        catalog.register(SequenceSpec("once", 0, n_frames=30))
+        with pytest.raises(ValueError, match="already registered"):
+            catalog.register(SequenceSpec("once", 0, n_frames=30))
+
+    def test_unknown_name_rejected(self):
+        catalog = SequenceCatalog()
+        with pytest.raises(ValueError, match="unknown sequence"):
+            catalog.sequence("nope")
+        with pytest.raises(ValueError, match="unknown sequence"):
+            catalog.metadata("nope")
+
+    def test_frame_counts_without_building(self):
+        catalog = SequenceCatalog()
+        catalog.register(SequenceSpec("semantickitti", 0, n_frames=40))
+        catalog.register(SequenceSpec("once", 0, n_frames=25))
+        assert catalog.n_frames("semantickitti-00-n40") == 40
+        assert catalog.total_frames() == 65
+        assert catalog.metadata("semantickitti-00-n40")["built"] is False
+
+    def test_describe_lists_every_sequence(self):
+        catalog = SequenceCatalog()
+        catalog.register(SequenceSpec("once", 0, n_frames=30))
+        text = catalog.describe()
+        assert "once-00-n30" in text
+        assert "lazy" in text

@@ -1,0 +1,147 @@
+"""Parser round-trips for sequence scopes and compound conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import ScopedQuery, parse_query, parse_scoped_query
+from repro.query.ast import CompoundRetrievalQuery, ConditionAnd, ConditionOr
+from repro.query.parser import QuerySyntaxError
+
+
+class TestScopeParsing:
+    def test_unscoped_text_has_no_sequence(self):
+        scoped = parse_scoped_query("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        assert scoped.sequence is None
+        assert scoped.query == parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1")
+
+    def test_named_scope(self):
+        scoped = parse_scoped_query(
+            "SELECT AVG OF COUNT(Car DIST <= 10) IN SEQUENCE semantickitti-00"
+        )
+        assert scoped.sequence == "semantickitti-00"
+
+    def test_all_sequences_is_fan_out(self):
+        scoped = parse_scoped_query(
+            "SELECT MED OF COUNT(*) IN ALL SEQUENCES"
+        )
+        assert scoped.sequence is None
+
+    def test_bare_name_joins_adjacent_tokens(self):
+        # `once-01-n64` tokenizes as IDENT NUMBER DASH IDENT; adjacency
+        # joins them back into one name.
+        scoped = parse_scoped_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE once-01-n64"
+        )
+        assert scoped.sequence == "once-01-n64"
+
+    def test_quoted_name_allows_arbitrary_characters(self):
+        scoped = parse_scoped_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 "
+            "IN SEQUENCE 'city/rush-hour.v2'"
+        )
+        assert scoped.sequence == "city/rush-hour.v2"
+
+    def test_keywords_case_insensitive(self):
+        scoped = parse_scoped_query(
+            "select frames where count(Car) >= 1 in sequence abc"
+        )
+        assert scoped.sequence == "abc"
+
+    def test_parse_query_rejects_scope(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE s")
+
+    def test_empty_quoted_name_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="empty sequence name"):
+            parse_scoped_query("SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE ''")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_scoped_query("SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE")
+
+    def test_trailing_junk_after_scope_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_scoped_query(
+                "SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE a WHERE"
+            )
+
+
+ROUND_TRIP_TEXTS = [
+    "SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3",
+    "SELECT FRAMES WHERE COUNT(Car) >= 3 IN SEQUENCE semantickitti-00",
+    "SELECT AVG OF COUNT(Car DIST <= 10) IN SEQUENCE once-01-n64",
+    "SELECT COUNT FRAMES WHERE COUNT(* DIST >= 5) >= 2 IN SEQUENCE abc",
+    "SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE 'city/rush-hour.v2'",
+    "SELECT FRAMES WHERE COUNT(Car CONF 0.7) >= 1",
+    "SELECT FRAMES WHERE COUNT(Car DIST <= 10) >= 3 "
+    "AND COUNT(Pedestrian DIST <= 15) >= 1 IN SEQUENCE kitti-00",
+    "SELECT FRAMES WHERE (COUNT(Car) >= 3 AND COUNT(Pedestrian) >= 1) "
+    "OR COUNT(Truck CONF 0.8) > 0",
+    "SELECT FRAMES WHERE COUNT(Car SECTOR -45 45) >= 2 IN ALL SEQUENCES",
+]
+
+
+class TestScopedRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_TEXTS)
+    def test_describe_round_trips(self, text):
+        scoped = parse_scoped_query(text)
+        assert parse_scoped_query(scoped.describe()) == scoped
+
+    def test_describe_quotes_only_when_needed(self):
+        bare = parse_scoped_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE once-01-n64"
+        )
+        assert bare.describe().endswith("IN SEQUENCE once-01-n64")
+        quoted = parse_scoped_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 IN SEQUENCE 'a b'"
+        )
+        assert quoted.describe().endswith("IN SEQUENCE 'a b'")
+
+    def test_nested_compound_round_trips(self):
+        # AND of ORs: describe() parenthesizes the OR groups, which the
+        # condition grammar must accept back.
+        text = (
+            "SELECT FRAMES WHERE (COUNT(Car) >= 1 OR COUNT(Truck) >= 1) "
+            "AND (COUNT(Pedestrian) >= 2 OR COUNT(Cyclist) >= 1)"
+        )
+        query = parse_query(text)
+        assert isinstance(query, CompoundRetrievalQuery)
+        assert isinstance(query.condition, ConditionAnd)
+        assert all(
+            isinstance(child, ConditionOr)
+            for child in query.condition.children
+        )
+        assert parse_query(query.describe()) == query
+
+    def test_parens_override_precedence(self):
+        flat = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 AND COUNT(Truck) >= 1 "
+            "OR COUNT(Cyclist) >= 1"
+        )
+        grouped = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 AND (COUNT(Truck) >= 1 "
+            "OR COUNT(Cyclist) >= 1)"
+        )
+        assert isinstance(flat.condition, ConditionOr)
+        assert isinstance(grouped.condition, ConditionAnd)
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT FRAMES WHERE (COUNT(Car) >= 1")
+
+    def test_non_default_confidence_survives_describe(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car CONF 0.7) >= 1")
+        assert "conf 0.7" in query.describe()
+        assert parse_query(query.describe()) == query
+
+
+class TestScopedQueryObject:
+    def test_wraps_only_query_objects(self):
+        with pytest.raises(TypeError, match="wraps a parsed query"):
+            ScopedQuery("SELECT FRAMES WHERE COUNT(Car) >= 1")
+
+    def test_rejects_empty_scope_name(self):
+        query = parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1")
+        with pytest.raises(ValueError, match="non-empty"):
+            ScopedQuery(query, sequence="")

@@ -1,0 +1,322 @@
+"""Streaming bench: sustained ingest, live-query staleness, online re-planning.
+
+Three claims of the streaming layer on a heterogeneous corpus replayed
+as a continuous stream (a near-static drive, a volatile drive, and a
+sparse urban log, growing at different rates):
+
+1. **Sustained ingest** — the service keeps up with the drip-feed: the
+   bench records frames/s and events/s through the bounded-staleness
+   ingest path (1-frame extends + periodic re-plan epochs included).
+
+2. **Queries during ingest** — scoped and fan-out queries answered
+   *while* frames arrive report their staleness, every reported lag is
+   within ``max_lag_frames``, and the bench records the live query
+   throughput plus the staleness histogram across all answers.
+
+3. **Online re-planning accuracy** — after the stream drains, the
+   online UCB re-planner (which re-planned every ``replan_every``
+   frames as sequences grew) must reach corpus-wide aggregate error no
+   worse than a static uniform split fit once on the final corpus, at
+   exactly equal total detector spend.
+
+Writes machine-readable ``BENCH_streaming.json`` at the repository root
+so CI can gate on the staleness contract and the policy comparison.
+``--smoke`` shrinks the corpus for fast CI runs (assertions still hold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.oracle import OracleCountProvider
+from repro.core.config import MASTConfig
+from repro.corpus import CorpusPipeline, SequenceCatalog, SequenceSpec
+from repro.evalx.metrics import aggregate_accuracy
+from repro.inference import DetectionStore, InferenceEngine
+from repro.models import pv_rcnn
+from repro.query.aggregates import aggregate
+from repro.query.workload import generate_workload
+from repro.streaming import ArrivalSchedule, ScheduledFrameSource, StreamingCorpusService
+from repro.utils.timing import STAGE_MODEL
+
+RESULTS_PATH = Path(__file__).parent.parent / "BENCH_streaming.json"
+MODEL_SEED = 5
+SEED = 1
+MAX_LAG = 3
+REPLAN_EVERY = 24
+
+#: Same heterogeneous worlds as ``bench_corpus``: adaptive budget is
+#: wasted on the static drive and pays off on the volatile one.
+STATIC_WORLD = (
+    ("base_spawn_rate", 0.15),
+    ("intensity_amplitude", 0.05),
+    ("mean_lifetime", 90.0),
+    ("ego_speed_mean", 1.5),
+    ("ego_speed_amplitude", 0.3),
+    ("burst_rate", 0.0),
+    ("yaw_rate_sigma", 0.005),
+    ("speed_noise", 0.05),
+)
+VOLATILE_WORLD = (
+    ("base_spawn_rate", 1.6),
+    ("mean_lifetime", 10.0),
+    ("intensity_period", 30.0),
+    ("burst_rate", 0.15),
+    ("ego_speed_mean", 12.0),
+    ("yaw_rate_sigma", 0.1),
+)
+
+
+def build_source(*, smoke: bool) -> ScheduledFrameSource:
+    """The bench corpus replayed on heterogeneous arrival schedules."""
+    long_n, short_n = (96, 72) if smoke else (240, 160)
+    sequences = [
+        SequenceSpec(
+            "semantickitti", 0, n_frames=long_n,
+            name="static-drive", world_overrides=STATIC_WORLD,
+        ).build(),
+        SequenceSpec(
+            "semantickitti", 1, n_frames=long_n,
+            name="volatile-drive", world_overrides=VOLATILE_WORLD,
+        ).build(),
+        SequenceSpec("once", 0, n_frames=short_n, name="sparse-urban").build(),
+    ]
+    return ScheduledFrameSource(
+        sequences,
+        initial_frames=12,
+        schedule={
+            "static-drive": ArrivalSchedule(rate=20.0, batch_frames=1),
+            "volatile-drive": ArrivalSchedule(rate=30.0, batch_frames=1),
+            "sparse-urban": ArrivalSchedule(rate=8.0, batch_frames=2),
+        },
+        seed=SEED,
+    )
+
+
+def _mixed_workload(names, *, n_queries: int) -> list[str]:
+    """Scoped + fan-out query texts cycling over the corpus."""
+    base = [q.describe() for q in generate_workload(rng=SEED).all_queries()]
+    texts = []
+    for position, text in enumerate(base[:n_queries]):
+        which = position % (len(names) + 1)
+        if which < len(names):
+            texts.append(f"{text} IN SEQUENCE {names[which]}")
+        else:
+            texts.append(text)
+    return texts
+
+
+def bench_ingest(*, smoke: bool) -> dict:
+    """Sustained ingest rate + live query throughput and staleness."""
+    source = build_source(smoke=smoke)
+    config = MASTConfig(budget_fraction=0.10, seed=SEED)
+    streamed_frames = sum(
+        len(source.final_sequence(name)) - len(source.initial_sequence(name))
+        for name in source.names()
+    )
+    with StreamingCorpusService(
+        source,
+        pv_rcnn(seed=MODEL_SEED),
+        config,
+        policy="ucb",
+        max_lag_frames=MAX_LAG,
+        replan_every=REPLAN_EVERY,
+    ) as service:
+        texts = _mixed_workload(service.names, n_queries=10 if smoke else 20)
+
+        ingest_seconds = 0.0
+        query_seconds = 0.0
+        queries_answered = 0
+        staleness_counts: Counter[int] = Counter()
+        events = 0
+        while True:
+            start = time.perf_counter()
+            pumped = service.pump(max_events=4)
+            ingest_seconds += time.perf_counter() - start
+            events += pumped
+            if pumped == 0:
+                break
+            start = time.perf_counter()
+            for answer in service.execute_batch(texts[:4]):
+                assert answer.max_staleness <= MAX_LAG
+                staleness_counts[answer.max_staleness] += 1
+                queries_answered += 1
+            query_seconds += time.perf_counter() - start
+            texts.append(texts.pop(0))  # rotate so every query runs live
+
+        start = time.perf_counter()
+        report = service.quiesce()
+        ingest_seconds += time.perf_counter() - start
+        assert all(lag == 0 for lag in report["staleness"].values())
+
+        return {
+            "sequences": {
+                name: len(source.final_sequence(name))
+                for name in source.names()
+            },
+            "streamed_frames": streamed_frames,
+            "arrival_events": events,
+            "max_lag_frames": MAX_LAG,
+            "replan_every": REPLAN_EVERY,
+            "replan_epochs": report["replan_epochs"],
+            "ingest_seconds": round(ingest_seconds, 4),
+            "ingest_frames_per_s": round(streamed_frames / ingest_seconds, 1),
+            "ingest_events_per_s": round(events / ingest_seconds, 1),
+            "queries_during_ingest": queries_answered,
+            "query_qps_during_ingest": round(
+                queries_answered / query_seconds, 1
+            ),
+            "staleness_histogram": {
+                str(lag): staleness_counts[lag]
+                for lag in sorted(staleness_counts)
+            },
+            "model_invocations": report["model_invocations"],
+            "cache": report["cache"],
+        }
+
+
+def bench_online_policies(*, smoke: bool) -> dict:
+    """Online UCB re-planning vs a static uniform fit at equal spend."""
+    config = MASTConfig(budget_fraction=0.10, seed=SEED)
+    model = pv_rcnn(seed=MODEL_SEED)
+    source = build_source(smoke=smoke)
+    aggregates = list(generate_workload(rng=SEED).aggregates)
+
+    # Oracle truth on the final corpus (full detection, shared store).
+    store = DetectionStore()
+    final = {name: source.final_sequence(name) for name in source.names()}
+    with InferenceEngine.from_config(config, store=store) as engine:
+        providers = {
+            name: OracleCountProvider(sequence, model, engine=engine)
+            for name, sequence in final.items()
+        }
+        truth = {
+            query.describe(): float(
+                aggregate(
+                    query.operator,
+                    np.concatenate(
+                        [
+                            provider.count_series(query.object_filter)
+                            for provider in providers.values()
+                        ]
+                    ),
+                    query.count_predicate,
+                )
+            )
+            for query in aggregates
+        }
+
+    def error_of(answers: dict[str, float]) -> float:
+        return float(
+            np.mean(
+                [
+                    1.0 - aggregate_accuracy(answers[text], truth[text])
+                    for text in truth
+                ]
+            )
+        )
+
+    # Online: the stream is ingested with periodic UCB re-plans.
+    with StreamingCorpusService(
+        build_source(smoke=smoke),
+        model,
+        config,
+        policy="ucb",
+        max_lag_frames=MAX_LAG,
+        replan_every=REPLAN_EVERY,
+    ) as service:
+        service.pump()
+        service.quiesce()
+        online_answers = {
+            query.describe(): float(service.execute(query).result.value)
+            for query in aggregates
+        }
+        online = service.allocation
+        online_spend = online.total_frames
+        online_frames = dict(online.frames_by_sequence)
+        online_invocations = service.cost_ledger().invocations(STAGE_MODEL)
+
+    # Static: one uniform fit on the final corpus, no re-planning.
+    catalog = SequenceCatalog()
+    for sequence in final.values():
+        catalog.register_sequence(sequence, dataset="stream")
+    with CorpusPipeline(catalog, config, policy="uniform").fit(model) as corpus:
+        static_answers = {
+            query.describe(): float(corpus.query(query).value)
+            for query in aggregates
+        }
+        static_allocation = corpus.allocation
+        assert static_allocation is not None
+        static_spend = static_allocation.total_frames
+
+    assert online_spend == static_spend, (
+        f"policies ran at different final budgets: "
+        f"online-ucb={online_spend} static-uniform={static_spend}"
+    )
+    online_error = error_of(online_answers)
+    static_error = error_of(static_answers)
+    assert online_error <= static_error + 1e-12, (
+        f"online UCB re-planning ({online_error:.5f}) must not lose to the "
+        f"static uniform split ({static_error:.5f}) at equal spend"
+    )
+    return {
+        "n_aggregate_queries": len(truth),
+        "total_budget_frames": online_spend,
+        "online_ucb": {
+            "aggregate_error": round(online_error, 6),
+            "frames_by_sequence": online_frames,
+            "model_invocations": online_invocations,
+        },
+        "static_uniform": {
+            "aggregate_error": round(static_error, 6),
+            "frames_by_sequence": dict(
+                static_allocation.frames_by_sequence
+            ),
+        },
+        "online_vs_static_error_ratio": round(online_error / static_error, 4)
+        if static_error
+        else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus for fast CI runs")
+    args = parser.parse_args(argv)
+
+    ingest = bench_ingest(smoke=args.smoke)
+    policies = bench_online_policies(smoke=args.smoke)
+
+    payload = {
+        "bench": "streaming",
+        "smoke": bool(args.smoke),
+        "ingest": ingest,
+        "online_replanning": policies,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(json.dumps(payload, indent=2))
+    print(
+        f"\ningest: {ingest['ingest_frames_per_s']} frames/s sustained, "
+        f"{ingest['query_qps_during_ingest']} qps live "
+        f"(staleness histogram {ingest['staleness_histogram']})"
+    )
+    online = policies["online_ucb"]["aggregate_error"]
+    static = policies["static_uniform"]["aggregate_error"]
+    print(
+        f"online ucb error {online:.5f} <= static uniform error "
+        f"{static:.5f} at {policies['total_budget_frames']} total frames "
+        f"-> {RESULTS_PATH.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,14 +31,16 @@ __all__ = ["DEFAULT_PER_DIRECTORY", "LintConfig", "load_config"]
 #: * ``models`` implement detection, so their internal ``self.detect``
 #:   delegation is not a ledger bypass (RPR004).
 #: * ``inference`` *is* the blessed detection path (RPR004).
-#: * ``corpus`` is registered with no disables: the corpus layer obeys
-#:   every invariant and its growth stays under the full rule set.
+#: * ``corpus`` and ``streaming`` are registered with no disables: both
+#:   layers obey every invariant and their growth stays under the full
+#:   rule set.
 DEFAULT_PER_DIRECTORY: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("src/repro/utils/timing.py", ("RPR002",)),
     ("benchmarks", ("RPR002",)),
     ("src/repro/models", ("RPR004",)),
     ("src/repro/inference", ("RPR004",)),
     ("src/repro/corpus", ()),
+    ("src/repro/streaming", ()),
 )
 
 

@@ -17,6 +17,10 @@ Four subcommands cover the operational lifecycle:
   and report cache statistics;
 * ``repro corpus`` — fit a multi-sequence corpus under a budget
   policy, print the allocation report, and answer scoped queries;
+* ``repro stream`` — replay a corpus as a continuous stream: frames
+  arrive on per-sequence schedules, the budget re-plans online, and
+  queries run against the live indexes under a bounded-staleness
+  contract (:mod:`repro.streaming`);
 * ``repro lint`` — run the project static-analysis rules
   (:mod:`repro.analysis`).
 
@@ -154,6 +158,47 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("queries", nargs="*",
                         help="query text; append 'IN SEQUENCE <name>' to "
                         "scope, otherwise the query fans out")
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a corpus as a continuous stream with online "
+        "re-planning and bounded-staleness queries",
+    )
+    stream.add_argument("--sequences", nargs="+", required=True, metavar="SPEC",
+                        help="sequences to stream, each dataset[:index[:frames]] "
+                        "(e.g. semantickitti:0:120 once:1:80)")
+    stream.add_argument("--initial", type=int, default=8,
+                        help="prefix frames each sequence starts with "
+                        "(default 8)")
+    stream.add_argument("--rate", type=float, default=10.0,
+                        help="arrival rate in frames per virtual second "
+                        "(default 10)")
+    stream.add_argument("--batch", type=int, default=1,
+                        help="frames per arrival event (default 1)")
+    stream.add_argument("--jitter", type=float, default=0.0,
+                        help="seeded arrival jitter as a fraction of the "
+                        "inter-batch gap, in [0, 1)")
+    stream.add_argument("--max-lag", type=int, default=0,
+                        help="bounded-staleness contract: max frames a "
+                        "sequence may buffer before a flush (default 0)")
+    stream.add_argument("--replan-every", type=int, default=32,
+                        help="re-run the budget allocator after this many "
+                        "ingested frames (default 32)")
+    stream.add_argument("--policy", choices=("uniform", "ucb"), default="ucb",
+                        help="cross-sequence budget policy (default ucb)")
+    stream.add_argument("--round-size", type=int, default=8,
+                        help="frames per UCB allocation round (default 8)")
+    stream.add_argument("--budget", type=float, default=0.10)
+    stream.add_argument("--model", choices=available_models(), default="pv_rcnn")
+    stream.add_argument("--seed", type=int, default=1)
+    stream.add_argument("--query-every", type=int, default=0, metavar="N",
+                        help="answer the queries mid-ingest every N arrival "
+                        "events (0 = only after the stream drains)")
+    stream.add_argument("queries", nargs="*",
+                        help="query text; append 'IN SEQUENCE <name>' to "
+                        "scope, otherwise the query fans out (unscoped "
+                        "queries also become standing queries, tracked "
+                        "at every re-plan epoch)")
 
     lint = sub.add_parser(
         "lint", help="run the project static-analysis rules (repro.analysis)"
@@ -556,6 +601,130 @@ def _cmd_corpus(args, out) -> int:
     return status
 
 
+def _cmd_stream(args, out) -> int:
+    from repro.core import MASTConfig
+    from repro.models import make_model
+    from repro.streaming import (
+        ArrivalSchedule,
+        ScheduledFrameSource,
+        StreamingCorpusService,
+    )
+
+    try:
+        sequences = [
+            _parse_corpus_spec(text).build() for text in args.sequences
+        ]
+        source = ScheduledFrameSource(
+            sequences,
+            initial_frames=args.initial,
+            schedule=ArrivalSchedule(
+                rate=args.rate, batch_frames=args.batch, jitter=args.jitter
+            ),
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    config = MASTConfig(seed=args.seed, budget_fraction=args.budget)
+    model = make_model(args.model, seed=5)
+    status = 0
+    with StreamingCorpusService(
+        source,
+        model,
+        config,
+        policy=args.policy,
+        round_size=args.round_size,
+        max_lag_frames=args.max_lag,
+        replan_every=args.replan_every,
+    ) as service:
+        for text in args.queries:
+            try:
+                service.register_standing(text)
+            except ValueError:
+                pass  # scoped queries still run below, just not standing
+        print(
+            f"streaming {source.total_events} arrival events over "
+            f"{len(service.names)} sequences "
+            f"(max lag {args.max_lag}, re-plan every {args.replan_every})",
+            file=out,
+        )
+        while not source.drained:
+            if args.query_every > 0:
+                service.pump(max_events=args.query_every)
+                for text in args.queries:
+                    status = _stream_query(service, text, out) or status
+            else:
+                service.pump()
+        report = service.quiesce()
+        for snapshot in service.epoch_snapshots():
+            drifting = ", ".join(
+                f"{text}: {value:.3g}"
+                + (
+                    f" (drift {snapshot.drift[text]:+.2f})"
+                    if snapshot.drift[text] == snapshot.drift[text]
+                    else ""
+                )
+                for text, value in snapshot.answers.items()
+            )
+            print(
+                f"epoch {snapshot.epoch} @ t={snapshot.virtual_time:.2f}s "
+                f"({snapshot.total_frames} frames)"
+                + (f": {drifting}" if drifting else ""),
+                file=out,
+            )
+        print(service.allocation.describe(), file=out)
+        for text in args.queries:
+            status = _stream_query(service, text, out) or status
+        arrived = report["arrived"]
+        watermarks = report["watermarks"]
+        assert isinstance(arrived, dict) and isinstance(watermarks, dict)
+        per_sequence = ", ".join(
+            f"{name}: {watermarks[name]}/{arrived[name]}" for name in arrived
+        )
+        print(
+            f"drained at t={report['virtual_time']:.2f}s: "
+            f"{report['events_processed']} events, "
+            f"{report['replan_epochs']} re-plan epochs, "
+            f"indexed/arrived [{per_sequence}]",
+            file=out,
+        )
+        print(
+            f"model invocations: {report['model_invocations']}; "
+            f"cache: {service.cache_stats().describe()}",
+            file=out,
+        )
+    return status
+
+
+def _stream_query(service, text: str, out) -> int:
+    """Answer one query against the live stream; returns exit status."""
+    try:
+        answer = service.execute(text)
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    result = answer.result
+    if hasattr(result, "by_sequence"):
+        if hasattr(result, "value"):
+            body = f"{result.value:.4f} (corpus-wide)"
+        else:
+            body = (
+                f"{result.cardinality} frames across "
+                f"{len(result.by_sequence)} sequences"
+            )
+    elif hasattr(result, "value"):
+        body = f"{result.value:.4f}"
+    else:
+        body = f"{result.cardinality} frames"
+    print(
+        f"{text}\n  -> {body} "
+        f"[t={answer.virtual_time:.2f}s, staleness "
+        f"{answer.max_staleness}/{answer.max_lag_frames}]",
+        file=out,
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "fit": _cmd_fit,
@@ -564,6 +733,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "serve-workload": _cmd_serve_workload,
     "corpus": _cmd_corpus,
+    "stream": _cmd_stream,
     "lint": _cmd_lint,
 }
 

@@ -187,8 +187,23 @@ class MASTPipeline:
             self._sampling.sampled_ids, tail_result.sampled_ids + old_n - 1
         )
         merged_detections = dict(self._sampling.detections)
+        # Detections are a pure function of (model seed, frame id), and
+        # the tail run detected its frames under *shifted* ids — so its
+        # outputs are not what a from-scratch run over the extended
+        # sequence would see at the true ids.  Keep any canonical
+        # detection we already have (notably the seam frame), and record
+        # the shifted-origin ids so a later corpus re-plan knows not to
+        # carry them across epochs.
+        noncanonical = {
+            int(i)
+            for i in self._sampling.policy_info.get("noncanonical_ids", ())
+        }
         for frame_id, objects in tail_result.detections.items():
-            merged_detections[int(frame_id) + old_n - 1] = objects
+            true_id = int(frame_id) + old_n - 1
+            if true_id in merged_detections:
+                continue
+            merged_detections[true_id] = objects
+            noncanonical.add(true_id)
 
         self._sequence = extended
         self._model = model
@@ -201,7 +216,10 @@ class MASTPipeline:
             detections=merged_detections,
             rewards=self._sampling.rewards + tail_result.rewards,
             ledger=self.ledger,
-            policy_info=self._sampling.policy_info,
+            policy_info={
+                **self._sampling.policy_info,
+                "noncanonical_ids": tuple(sorted(noncanonical)),
+            },
         )
         self._rebuild_index()
         return self

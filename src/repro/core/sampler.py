@@ -170,9 +170,16 @@ class BaseSampler(ABC):
         budget: int,
         ledger: CostLedger,
         engine: InferenceEngine,
+        *,
+        known: dict[int, ObjectArray] | None = None,
     ) -> tuple[list[int], dict[int, ObjectArray]]:
-        """Detect the uniform pass (one wave) and return (ids, detections)."""
-        detections: dict[int, ObjectArray] = {}
+        """Detect the uniform pass (one wave) and return (ids, detections).
+
+        ``known`` seeds the run's accumulator with detections from an
+        earlier epoch over the same sequence; those frames are answered
+        locally and never re-billed.
+        """
+        detections: dict[int, ObjectArray] = dict(known) if known else {}
         ids = uniform_ids(len(sequence), budget)
         self._detect_wave(sequence, ids, model, detections, ledger, engine)
         return [int(i) for i in ids], detections
@@ -276,6 +283,7 @@ class HierarchicalMultiAgentSampler(BaseSampler):
         engine: InferenceEngine,
         ledger: CostLedger | None = None,
         budget: int | None = None,
+        known: dict[int, ObjectArray] | None = None,
     ) -> AdaptiveSamplingSession:
         """Open a resumable sampling session (uniform pass runs eagerly).
 
@@ -285,9 +293,15 @@ class HierarchicalMultiAgentSampler(BaseSampler):
         ST-PC rewards it observed, so a root-level allocator can steer
         subsequent slices toward the sequences that earn the most.
         Unlike :meth:`sample`, the engine is always borrowed.
+
+        ``known`` re-enters the session across ingest epochs: frames
+        already detected in an earlier plan over (a prefix of) the same
+        sequence are answered from the carried dict at zero deep-model
+        cost, so a streaming re-plan only bills genuinely new frames.
         """
         return AdaptiveSamplingSession(
-            self, sequence, model, ledger=ledger, engine=engine, budget=budget
+            self, sequence, model, ledger=ledger, engine=engine, budget=budget,
+            known=known,
         )
 
 
@@ -308,6 +322,13 @@ class AdaptiveSamplingSession:
     (:meth:`MASTConfig.budget_for`).  A cross-sequence allocator passes
     the sequence length instead, so the root policy — not the local
     config — decides where the corpus-wide budget goes.
+
+    ``known`` carries detections from an earlier epoch over the same
+    sequence (session re-entry): carried frames cost nothing to
+    "re-detect", while the selection trajectory — uniform pass, segment
+    tree, rewards — is bit-identical to a fresh session, because
+    detectors are deterministic per frame and the policy never iterates
+    the detections dict, it only looks frames up by id.
     """
 
     def __init__(
@@ -319,6 +340,7 @@ class AdaptiveSamplingSession:
         engine: InferenceEngine,
         ledger: CostLedger | None = None,
         budget: int | None = None,
+        known: dict[int, ObjectArray] | None = None,
     ) -> None:
         config = sampler.config
         self._sampler = sampler
@@ -338,7 +360,7 @@ class AdaptiveSamplingSession:
         uniform_budget = config.uniform_budget_for(self.base_budget)
 
         self._sampled, self._detections = sampler._uniform_phase(
-            sequence, model, uniform_budget, self.ledger, engine
+            sequence, model, uniform_budget, self.ledger, engine, known=known
         )
         self.rewards: list[float] = []
         self._exhausted = False

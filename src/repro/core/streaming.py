@@ -27,7 +27,26 @@ from repro.query.ast import AggregateQuery, CompoundRetrievalQuery, RetrievalQue
 from repro.query.parser import parse_query
 from repro.utils.validation import require, require_positive
 
-__all__ = ["BatchSnapshot", "StreamingMonitor"]
+__all__ = ["BatchSnapshot", "StreamingMonitor", "drift_zscore"]
+
+
+def drift_zscore(history: list[float], value: float) -> float:
+    """Z-score of ``value`` against the ``history`` of earlier values.
+
+    Returns ``nan`` with fewer than 2 history points (not enough data to
+    call anything drift), ``inf``-signed drift when a perfectly constant
+    history changes at all, and the plain ``(value - mean) / std``
+    otherwise.  Shared by :class:`StreamingMonitor` and the corpus-level
+    :class:`~repro.streaming.StreamingCorpusService`, so both report the
+    same drift signal for the same standing-answer history.
+    """
+    if len(history) < 2:
+        return float("nan")
+    spread = float(np.std(history))
+    center = float(np.mean(history))
+    if spread > 1e-12:
+        return (value - center) / spread
+    return 0.0 if value == center else float("inf")
 
 
 @dataclass(frozen=True)
@@ -161,15 +180,7 @@ class StreamingMonitor:
             batch_answers[text] = batch_value
 
             history = self._batch_history[text]
-            if len(history) >= 2:
-                spread = float(np.std(history))
-                center = float(np.mean(history))
-                drift[text] = (
-                    (batch_value - center) / spread if spread > 1e-12
-                    else (0.0 if batch_value == center else float("inf"))
-                )
-            else:
-                drift[text] = float("nan")
+            drift[text] = drift_zscore(history, batch_value)
             history.append(batch_value)
 
         self._batch_index += 1

@@ -19,6 +19,7 @@ import threading
 from collections.abc import Iterator
 from dataclasses import dataclass
 
+from repro.data.frame import PointCloudFrame
 from repro.data.sequence import FrameSequence
 from repro.simulation.datasets import (
     DatasetSpec,
@@ -174,6 +175,29 @@ class SequenceCatalog:
             )
             self._entries[name] = entry
         return name
+
+    def extend_sequence(
+        self, name: str, new_frames: list[PointCloudFrame]
+    ) -> FrameSequence:
+        """Append frames to a registered sequence (building it if lazy).
+
+        The grown sequence replaces the entry in place and the metadata
+        frame count tracks the growth; the lazy spec, if any, is dropped
+        — it no longer describes the stored sequence.  This is the
+        catalog half of streaming ingest: the corpus layer grows the
+        catalog and the owning shard in one step, so routing metadata
+        (``n_frames``, ``total_frames``) never lags the live indexes.
+        """
+        require(bool(new_frames), "extend_sequence needs at least one frame")
+        with self._lock:
+            entry = self._entry(name)
+            if entry.sequence is None:
+                assert entry.spec is not None
+                entry.sequence = entry.spec.build()
+            entry.sequence = entry.sequence.extended(new_frames)
+            entry.spec = None
+            entry.metadata["n_frames"] = len(entry.sequence)
+            return entry.sequence
 
     # ------------------------------------------------------------------
     # Lookup

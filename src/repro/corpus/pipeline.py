@@ -35,6 +35,7 @@ from repro.core.pipeline import MASTPipeline
 from repro.core.sampler import (
     AdaptiveSamplingSession,
     HierarchicalMultiAgentSampler,
+    SamplingResult,
 )
 from repro.corpus.allocator import AllocationReport, BudgetAllocator, make_allocator
 from repro.corpus.catalog import SequenceCatalog
@@ -105,34 +106,114 @@ class CorpusPipeline:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def fit(self, model: DetectionModel) -> CorpusPipeline:
-        """Sample every sequence under the budget policy; build shards."""
+    def plan(
+        self, model: DetectionModel
+    ) -> tuple[dict[str, SamplingResult], AllocationReport]:
+        """Run one full budget plan over the current catalog.
+
+        One session opens per sequence and the allocator spends the
+        shared adaptive pool across them, exactly as :meth:`fit` does.
+        Sessions for already-fitted shards *re-enter* with the shard's
+        accumulated detections (``known=``) and charge the shard's
+        ledger, so a re-plan after catalog growth replays the same
+        deterministic trajectory a from-scratch fit would take while
+        only billing genuinely new frames.
+        """
         sampler = HierarchicalMultiAgentSampler(self.config)
         names = self.catalog.names()
         sessions: list[AdaptiveSamplingSession] = []
         for name in names:
             sequence = self.catalog.sequence(name)
+            shard = self._shards.get(name)
+            known = None
+            if shard is not None:
+                # Carry every canonical detection the shard has paid
+                # for.  Extend-era tail detections were computed under
+                # shifted frame ids (see MASTPipeline.extend) and would
+                # poison the deterministic trajectory, so they are
+                # re-detected canonically (and billed once) on first
+                # re-plan instead.
+                sampling = shard.sampling_result
+                known = dict(sampling.detections)
+                for frame_id in sampling.policy_info.get(
+                    "noncanonical_ids", ()
+                ):
+                    known.pop(int(frame_id), None)
             sessions.append(
                 sampler.session(
                     sequence,
                     model,
                     engine=self.engine,
-                    ledger=CostLedger(),
+                    ledger=shard.ledger if shard is not None else CostLedger(),
                     budget=self.allocator.session_budget(len(sequence)),
+                    known=known,
                 )
             )
-        self.allocation = self.allocator.run(sessions)
+        allocation = self.allocator.run(sessions)
+        return (
+            {name: session.result() for name, session in zip(names, sessions)},
+            allocation,
+        )
+
+    def fit(self, model: DetectionModel) -> CorpusPipeline:
+        """Sample every sequence under the budget policy; build shards."""
         self._shards = {}
-        for name, session in zip(names, sessions):
+        samplings, self.allocation = self.plan(model)
+        for name, sampling in samplings.items():
             shard = MASTPipeline(self.config, engine=self.engine)
             # The shard's ledger is the session's, so each sequence's
             # sampling, indexing and query costs roll up in one place.
-            shard.ledger = session.ledger
+            shard.ledger = sampling.ledger
             shard.fit_from_sampling(
-                self.catalog.sequence(name), model, session.result()
+                self.catalog.sequence(name), model, sampling
             )
             self._shards[name] = shard
         return self
+
+    def replan(self, model: DetectionModel) -> AllocationReport:
+        """Re-run the budget plan over the (possibly grown) catalog.
+
+        Every shard adopts its fresh sampling in place
+        (:meth:`MASTPipeline.fit_from_sampling`), which makes the
+        post-replan corpus bit-identical to a from-scratch :meth:`fit`
+        on the same catalog state: sessions re-derive their RNG streams
+        from ``(seed, sequence name)`` and the allocator re-derives its
+        own from ``(seed, "corpus-allocator")``, so the plan is a pure
+        function of the catalog — carried detections only remove the
+        deep-model bill for frames an earlier epoch already paid for.
+        Sequences registered since the last plan gain a shard.
+        """
+        require(bool(self._shards), "fit() must be called before replan()")
+        samplings, allocation = self.plan(model)
+        for name, sampling in samplings.items():
+            shard = self._shards.get(name)
+            if shard is None:
+                shard = MASTPipeline(self.config, engine=self.engine)
+                shard.ledger = sampling.ledger
+                self._shards[name] = shard
+            shard.fit_from_sampling(
+                self.catalog.sequence(name), model, sampling
+            )
+        self.allocation = allocation
+        return allocation
+
+    def extend(
+        self,
+        name: str,
+        new_frames: list,
+        *,
+        model: DetectionModel | None = None,
+    ) -> MASTPipeline:
+        """Grow one catalog sequence and ingest the batch into its shard.
+
+        The catalog entry and the shard advance together, so scope
+        routing and ``total_frames`` metadata never disagree with the
+        live index.  Returns the grown shard.
+        """
+        shard = self.shard(name)
+        self.catalog.extend_sequence(name, new_frames)
+        shard.extend(new_frames, model=model)
+        return shard
 
     # ------------------------------------------------------------------
     # Shard access

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 from typing import Union
 
+from repro.core.pipeline import MASTPipeline
+from repro.corpus.allocator import AllocationReport
 from repro.corpus.pipeline import CorpusPipeline, CorpusResult, ShardResult
 from repro.corpus.results import merge_aggregates, merge_retrievals
 from repro.data.frame import PointCloudFrame
@@ -56,6 +58,8 @@ class CorpusQueryService:
         max_workers: int = 8,
     ) -> None:
         self._corpus = corpus
+        self._max_cache_entries = int(max_cache_entries)
+        self._max_workers = int(max_workers)
         self._services = {
             name: QueryService(
                 shard,
@@ -196,7 +200,7 @@ class CorpusQueryService:
         return results
 
     # ------------------------------------------------------------------
-    # Extension
+    # Extension / re-planning
     # ------------------------------------------------------------------
     def extend(
         self,
@@ -205,9 +209,49 @@ class CorpusQueryService:
         *,
         model: DetectionModel | None = None,
     ) -> CorpusQueryService:
-        """Ingest a frame batch into one shard (incremental invalidation)."""
+        """Ingest a frame batch into one shard (incremental invalidation).
+
+        The catalog entry grows in lockstep with the shard, so a later
+        :meth:`replan` plans over the frames this extension delivered.
+        """
+        self._corpus.catalog.extend_sequence(name, new_frames)
         self.service(name).extend(new_frames, model=model)
         return self
+
+    def replan(self, model: DetectionModel) -> AllocationReport:
+        """Re-plan the corpus budget; every shard adopts its new sampling.
+
+        Runs :meth:`CorpusPipeline.plan` over the current (grown)
+        catalog, then swaps each shard's service onto its fresh
+        :class:`~repro.core.sampler.SamplingResult` via
+        :meth:`QueryService.adopt` — an atomic per-shard epoch bump, so
+        concurrent readers of any one shard see either the old or the
+        new plan, never a mixture.  Sequences registered since the last
+        plan gain a service.
+        """
+        corpus = self._corpus
+        samplings, allocation = corpus.plan(model)
+        for name, sampling in samplings.items():
+            shard = corpus._shards.get(name)
+            if shard is None:
+                shard = MASTPipeline(corpus.config, engine=corpus.engine)
+                shard.ledger = sampling.ledger
+                corpus._shards[name] = shard
+            if name not in self._services:
+                shard.fit_from_sampling(
+                    corpus.catalog.sequence(name), model, sampling
+                )
+                self._services[name] = QueryService(
+                    shard,
+                    max_cache_entries=self._max_cache_entries,
+                    max_workers=self._max_workers,
+                )
+            else:
+                self._services[name].adopt(
+                    corpus.catalog.sequence(name), model, sampling
+                )
+        corpus.allocation = allocation
+        return allocation
 
     # ------------------------------------------------------------------
     # Lifecycle

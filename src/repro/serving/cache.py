@@ -202,6 +202,22 @@ class CountSeriesCache:
                 self._bytes -= entry.series.nbytes - prefix.nbytes
                 self._entries[key] = _Entry(prefix, self._generation, False)
 
+    def bump(self) -> int:
+        """Advance one generation with nothing reusable; return it.
+
+        The full-invalidation counterpart of :meth:`invalidate_tail`,
+        used when an ingest epoch re-plans the backing sampling run —
+        any cached series may have changed anywhere, so every entry is
+        dropped (each counted as one invalidation) and readers of the
+        old generation miss cleanly.
+        """
+        with self._lock:
+            self._generation += 1
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            return self._generation
+
     def clear(self) -> None:
         """Drop every entry (counted as evictions); generation is kept."""
         with self._lock:

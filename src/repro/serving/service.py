@@ -38,7 +38,9 @@ from typing import Any
 import numpy as np
 
 from repro.core.pipeline import MASTPipeline, predictor_kind
+from repro.core.sampler import SamplingResult
 from repro.data.frame import PointCloudFrame
+from repro.data.sequence import FrameSequence
 from repro.models.base import DetectionModel
 from repro.query.ast import AggregateResult, RetrievalResult
 from repro.query.engine import evaluate_query
@@ -340,6 +342,35 @@ class QueryService:
             self._prime_linear(old_linear, providers["linear"], boundary)
             generation = old_state.generation + 1
             self.cache.invalidate_tail(boundary, generation)
+            self._state = _ServiceState(
+                generation=generation,
+                n_frames=providers["st"].n_frames,
+                providers=providers,
+            )
+        return self
+
+    def adopt(
+        self,
+        sequence: FrameSequence,
+        model: DetectionModel,
+        sampling: SamplingResult,
+    ) -> QueryService:
+        """Install a re-planned sampling run; full cache invalidation.
+
+        The streaming layer periodically re-plans the corpus budget over
+        grown sequences and adopts each shard's fresh
+        :class:`~repro.core.sampler.SamplingResult` here.  Unlike
+        :meth:`extend`, a re-plan may move sampled frames *anywhere* in
+        the sequence, so no cached prefix is provably reusable: the
+        cache bumps a generation wholesale and the immutable state
+        snapshot is swapped under the same lock that serializes
+        extensions.  Queries already in flight keep answering on the
+        pre-adoption snapshot.
+        """
+        with self._extend_lock:
+            self._pipeline.fit_from_sampling(sequence, model, sampling)
+            providers = self._pipeline.providers
+            generation = self.cache.bump()
             self._state = _ServiceState(
                 generation=generation,
                 n_frames=providers["st"].n_frames,

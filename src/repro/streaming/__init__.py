@@ -1,0 +1,33 @@
+"""Streaming corpus layer: continuous ingest with bounded-staleness queries.
+
+Frames arrive continuously on many catalog sequences through a
+:class:`FrameSource`; a :class:`StreamingCorpusService` ingests them
+under an explicit staleness bound, re-plans the corpus budget online as
+sequences grow at different rates, and answers scoped queries
+concurrently against the live per-shard indexes.  After the source
+drains and the service quiesces, every answer is bit-identical to the
+batch :class:`~repro.corpus.CorpusQueryService` on the same final
+corpus.
+"""
+
+from repro.streaming.service import (
+    EpochSnapshot,
+    StreamingAnswer,
+    StreamingCorpusService,
+)
+from repro.streaming.source import (
+    ArrivalEvent,
+    ArrivalSchedule,
+    FrameSource,
+    ScheduledFrameSource,
+)
+
+__all__ = [
+    "ArrivalEvent",
+    "ArrivalSchedule",
+    "EpochSnapshot",
+    "FrameSource",
+    "ScheduledFrameSource",
+    "StreamingAnswer",
+    "StreamingCorpusService",
+]

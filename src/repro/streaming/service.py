@@ -1,0 +1,507 @@
+"""Daemon-style streaming corpus service with bounded-staleness queries.
+
+:class:`StreamingCorpusService` turns the batch corpus stack into a
+long-lived loop.  Frames arrive continuously on many catalog sequences
+through a :class:`~repro.streaming.source.FrameSource`; the service
+
+* **ingests** under an explicit bounded-staleness contract — each
+  sequence buffers at most ``max_lag_frames`` arrived-but-unindexed
+  frames before its buffer is flushed through the incremental
+  :meth:`~repro.corpus.CorpusQueryService.extend` path (tail-only cache
+  invalidation), and every answer reports the per-sequence watermark
+  and lag it was served under;
+* **re-plans** the corpus budget online — every ``replan_every``
+  ingested frames the UCB (or uniform) allocator re-runs over the grown
+  catalog through :meth:`~repro.corpus.CorpusQueryService.replan`;
+  sessions re-enter with each shard's paid-for detections, so an epoch
+  only bills genuinely new frames while replaying the exact trajectory
+  a from-scratch fit would take;
+* **answers queries concurrently** — ``execute`` may be called from any
+  number of threads while one thread pumps the source; each shard
+  answers from immutable state snapshots, so readers see a coherent
+  pre- or post-ingest epoch per shard, never a torn one.
+
+The headline guarantee: after :meth:`quiesce` (source drained, buffers
+flushed, one final re-plan), every scoped answer is bit-identical to a
+batch :class:`~repro.corpus.CorpusQueryService` fit from scratch on the
+same final corpus — streaming is a latency/staleness trade-off, never
+an accuracy one.
+
+Time is virtual throughout (event times come from the source), so runs
+are exactly reproducible and never read the wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.config import MASTConfig
+from repro.core.streaming import drift_zscore
+from repro.corpus.allocator import AllocationReport, BudgetAllocator
+from repro.corpus.catalog import SequenceCatalog
+from repro.corpus.pipeline import CorpusPipeline, CorpusResult
+from repro.corpus.service import CorpusQueryService
+from repro.data.frame import PointCloudFrame
+from repro.inference import DetectionStore
+from repro.models.base import DetectionModel
+from repro.query.ast import (
+    AggregateQuery,
+    AggregateResult,
+    CompoundRetrievalQuery,
+    RetrievalQuery,
+    ScopedQuery,
+)
+from repro.query.parser import parse_scoped_query
+from repro.serving.cache import CacheStats
+from repro.streaming.source import ArrivalEvent, FrameSource
+from repro.utils.timing import STAGE_MODEL, CostLedger
+from repro.utils.validation import require
+
+__all__ = ["EpochSnapshot", "StreamingAnswer", "StreamingCorpusService"]
+
+#: Query inputs the service accepts (scoped text or query objects).
+StreamQuery = Union[
+    str, ScopedQuery, RetrievalQuery, CompoundRetrievalQuery, AggregateQuery
+]
+
+
+@dataclass(frozen=True)
+class StreamingAnswer:
+    """A query answer plus the staleness contract it was served under.
+
+    ``staleness`` maps each in-scope sequence to its lag in frames
+    (arrived but not yet indexed) at the published state the answer
+    observed; the contract guarantees every value is at most
+    ``max_lag_frames``.  The snapshot is taken *before* execution, so
+    the underlying indexes are at least as fresh as reported.
+    """
+
+    result: CorpusResult
+    watermarks: dict[str, int]
+    arrived: dict[str, int]
+    staleness: dict[str, int]
+    max_lag_frames: int
+    virtual_time: float
+
+    @property
+    def max_staleness(self) -> int:
+        """The worst per-sequence lag this answer was served under."""
+        return max(self.staleness.values()) if self.staleness else 0
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """Standing-query state captured at one re-planning epoch."""
+
+    epoch: int
+    virtual_time: float
+    total_frames: int
+    #: Query text -> corpus-wide answer (cardinality for retrievals).
+    answers: dict[str, float]
+    #: Query text -> drift z-score against earlier epochs' answers.
+    drift: dict[str, float]
+    allocation: AllocationReport
+
+
+class StreamingCorpusService:
+    """Continuous ingest + online re-planning + concurrent queries.
+
+    One thread (the owner of :meth:`pump` / :meth:`quiesce`) drives
+    ingest; any number of threads may call :meth:`execute` /
+    :meth:`execute_batch` concurrently.  Ingest-side state and the
+    published arrival/watermark counters live under separate locks so
+    readers never wait on a deep-model flush:
+
+    # guarded-by: _ingest_lock: _pending, _frames_since_replan, _standing, _epoch_history, _epoch_snapshots
+    # guarded-by: _state_lock: _arrived, _watermark, _clock, _events_processed, _epochs
+
+    Parameters
+    ----------
+    source:
+        Where frames come from; its per-sequence initial prefixes seed
+        the catalog (each needs >= 2 frames for a well-formed index).
+    model:
+        The deep detector billed for every sampled frame.
+    policy, round_size:
+        Budget allocation across sequences, as in
+        :class:`~repro.corpus.CorpusPipeline`.
+    max_lag_frames:
+        Bounded-staleness knob: a sequence buffers at most this many
+        arrived frames before a flush; 0 indexes every arrival
+        immediately (the 1-frame-extend hot path).
+    replan_every:
+        Re-run the allocator after this many frames have been flushed
+        corpus-wide since the last plan.
+    """
+
+    def __init__(
+        self,
+        source: FrameSource,
+        model: DetectionModel,
+        config: MASTConfig | None = None,
+        *,
+        policy: str | BudgetAllocator = "uniform",
+        round_size: int = 8,
+        max_lag_frames: int = 0,
+        replan_every: int = 32,
+        max_cache_entries: int = 512,
+        max_workers: int = 8,
+        detection_store: DetectionStore | None = None,
+    ) -> None:
+        require(max_lag_frames >= 0, "max_lag_frames must be >= 0")
+        require(replan_every >= 1, "replan_every must be >= 1")
+        self.source = source
+        self.model = model
+        self.config = config or MASTConfig()
+        self.max_lag_frames = int(max_lag_frames)
+        self.replan_every = int(replan_every)
+        self.store = detection_store or DetectionStore()
+
+        catalog = SequenceCatalog()
+        for name in source.names():
+            initial = source.initial_sequence(name)
+            require(
+                len(initial) >= 2,
+                f"initial prefix of {name!r} needs >= 2 frames, "
+                f"got {len(initial)}",
+            )
+            catalog.register_sequence(initial, dataset="stream")
+        self._corpus = CorpusPipeline(
+            catalog,
+            self.config,
+            policy=policy,
+            round_size=round_size,
+            detection_store=self.store,
+        )
+        self._corpus.fit(model)
+        self._service = CorpusQueryService(
+            self._corpus,
+            max_cache_entries=max_cache_entries,
+            max_workers=max_workers,
+        )
+
+        self._ingest_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[str, list[PointCloudFrame]] = {
+            name: [] for name in catalog.names()
+        }
+        self._frames_since_replan = 0
+        self._epoch_history: dict[str, list[float]] = {}
+        self._standing: dict[str, object] = {}
+        self._epoch_snapshots: list[EpochSnapshot] = []
+        self._arrived: dict[str, int] = {
+            name: len(source.initial_sequence(name)) for name in catalog.names()
+        }
+        self._watermark: dict[str, int] = dict(self._arrived)
+        self._clock = 0.0
+        self._events_processed = 0
+        self._epochs = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Sequence names, in catalog order."""
+        return self._corpus.names
+
+    @property
+    def allocation(self) -> AllocationReport:
+        """The most recent budget plan."""
+        allocation = self._corpus.allocation
+        assert allocation is not None  # fit() ran in __init__
+        return allocation
+
+    @property
+    def virtual_time(self) -> float:
+        """Virtual time of the latest processed arrival."""
+        with self._state_lock:
+            return self._clock
+
+    @property
+    def events_processed(self) -> int:
+        """Arrival events ingested so far."""
+        with self._state_lock:
+            return self._events_processed
+
+    @property
+    def epochs(self) -> int:
+        """Re-planning epochs run so far (excluding the initial fit)."""
+        with self._state_lock:
+            return self._epochs
+
+    def watermarks(self) -> dict[str, int]:
+        """Per-sequence frames indexed and queryable (published state)."""
+        with self._state_lock:
+            return dict(self._watermark)
+
+    def staleness(self) -> dict[str, int]:
+        """Per-sequence lag in frames (arrived but not yet indexed)."""
+        with self._state_lock:
+            return {
+                name: self._arrived[name] - self._watermark[name]
+                for name in self._arrived
+            }
+
+    def cache_stats(self) -> CacheStats:
+        """Corpus-wide rollup of the per-shard cache counters."""
+        return self._service.cache_stats()
+
+    def cost_ledger(self) -> CostLedger:
+        """One merged ledger across the corpus and every shard."""
+        merged = CostLedger()
+        merged.merge(self._corpus.ledger)
+        for name in self._corpus.names:
+            merged.merge(self._corpus.shard(name).ledger)
+        return merged
+
+    def epoch_snapshots(self) -> list[EpochSnapshot]:
+        """Standing-query snapshots, one per re-planning epoch."""
+        with self._ingest_lock:
+            return list(self._epoch_snapshots)
+
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+    def register_standing(self, query: StreamQuery) -> None:
+        """Add a standing query, re-evaluated at every re-plan epoch."""
+        scoped = self._coerce(query)
+        require(
+            scoped.sequence is None,
+            "standing queries are corpus-wide; drop the IN SEQUENCE scope",
+        )
+        text = scoped.query.describe()
+        with self._ingest_lock:
+            self._standing[text] = scoped.query
+            self._epoch_history.setdefault(text, [])
+
+    @property
+    def standing_queries(self) -> list[str]:
+        """Registered standing-query texts."""
+        with self._ingest_lock:
+            return list(self._standing)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def pump(self, max_events: int | None = None) -> int:
+        """Ingest up to ``max_events`` arrivals (all of them when ``None``).
+
+        Returns the number of events processed.  Safe to call from one
+        thread while others query; each event appends to its sequence's
+        buffer and — whenever the buffer would exceed ``max_lag_frames``
+        — flushes it through the incremental extend path, then publishes
+        the new arrival/watermark counters atomically, so a reader can
+        never observe a lag above the bound.
+        """
+        processed = 0
+        while max_events is None or processed < max_events:
+            with self._ingest_lock:
+                event = self.source.next_event()
+                if event is None:
+                    break
+                self._ingest(event)
+            processed += 1
+        return processed
+
+    def quiesce(self) -> dict[str, object]:
+        """Drain the source, flush every buffer, and re-plan one last time.
+
+        Afterwards the corpus state is bit-identical to a from-scratch
+        batch fit on the final sequences (same policy, same seed), and
+        every sequence's staleness is zero.  Returns :meth:`report`.
+        """
+        self.pump()
+        with self._ingest_lock:
+            for name in self.names:
+                self._flush(name)
+            self._replan()
+        return self.report()
+
+    def _ingest(self, event: ArrivalEvent) -> None:  # repro: locked[_ingest_lock]
+        """Buffer one arrival; flush and re-plan as contracts require."""
+        name = event.sequence
+        require(
+            name in self._pending,
+            f"arrival for unknown sequence {name!r}",
+        )
+        pending = self._pending[name]
+        pending.extend(event.frames)
+        flushed = 0
+        if len(pending) > self.max_lag_frames:
+            flushed = self._flush(name, publish=False)
+        with self._state_lock:
+            self._arrived[name] += len(event.frames)
+            if flushed:
+                self._watermark[name] = self._arrived[name]
+            self._clock = max(self._clock, event.time)
+            self._events_processed += 1
+        if flushed:
+            self._frames_since_replan += flushed
+            if self._frames_since_replan >= self.replan_every:
+                self._replan()
+
+    def _flush(self, name: str, *, publish: bool = True) -> int:  # repro: locked[_ingest_lock]
+        """Extend ``name``'s shard with its buffered frames."""
+        pending = self._pending[name]
+        if not pending:
+            return 0
+        frames = list(pending)
+        pending.clear()
+        self._service.extend(name, frames, model=self.model)
+        if publish:
+            with self._state_lock:
+                self._watermark[name] = self._arrived[name]
+        return len(frames)
+
+    def _replan(self) -> None:  # repro: locked[_ingest_lock]
+        """Re-run the budget plan and snapshot the standing queries."""
+        allocation = self._service.replan(self.model)
+        self._frames_since_replan = 0
+        with self._state_lock:
+            self._epochs += 1
+            epoch = self._epochs
+            clock = self._clock
+        answers: dict[str, float] = {}
+        drift: dict[str, float] = {}
+        for text, query in self._standing.items():
+            result = self._service.execute(query)
+            value = (
+                float(result.value)
+                if hasattr(result, "value")
+                else float(result.cardinality)
+            )
+            answers[text] = value
+            history = self._epoch_history[text]
+            drift[text] = drift_zscore(history, value)
+            history.append(value)
+        self._epoch_snapshots.append(
+            EpochSnapshot(
+                epoch=epoch,
+                virtual_time=clock,
+                total_frames=self._corpus.catalog.total_frames(),
+                answers=answers,
+                drift=drift,
+                allocation=allocation,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _coerce(self, query: StreamQuery) -> ScopedQuery:
+        if isinstance(query, str):
+            return parse_scoped_query(query)
+        if isinstance(query, ScopedQuery):
+            return query
+        if isinstance(
+            query, (RetrievalQuery, CompoundRetrievalQuery, AggregateQuery)
+        ):
+            return ScopedQuery(query)
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def _snapshot(self, scope: str | None) -> tuple[dict, dict, dict, float]:
+        """Published (watermarks, arrived, staleness, time) for a scope."""
+        with self._state_lock:
+            names = (scope,) if scope is not None else tuple(self._arrived)
+            require(
+                all(name in self._arrived for name in names),
+                f"unknown sequence {scope!r}; stream has {sorted(self._arrived)}",
+            )
+            watermarks = {name: self._watermark[name] for name in names}
+            arrived = {name: self._arrived[name] for name in names}
+            clock = self._clock
+        staleness = {
+            name: arrived[name] - watermarks[name] for name in watermarks
+        }
+        return watermarks, arrived, staleness, clock
+
+    def execute(self, query: StreamQuery) -> StreamingAnswer:
+        """Answer one (possibly scoped) query against the live indexes."""
+        scoped = self._coerce(query)
+        watermarks, arrived, staleness, clock = self._snapshot(scoped.sequence)
+        result = self._service.execute(scoped)
+        return StreamingAnswer(
+            result=result,
+            watermarks=watermarks,
+            arrived=arrived,
+            staleness=staleness,
+            max_lag_frames=self.max_lag_frames,
+            virtual_time=clock,
+        )
+
+    def execute_batch(self, queries: list[StreamQuery]) -> list[StreamingAnswer]:
+        """Answer a workload batched per shard, one snapshot for all."""
+        scoped_list = [self._coerce(q) for q in queries]
+        watermarks, arrived, staleness, clock = self._snapshot(None)
+        results = self._service.execute_batch(scoped_list)
+        answers = []
+        for scoped, result in zip(scoped_list, results):
+            names = (
+                (scoped.sequence,)
+                if scoped.sequence is not None
+                else tuple(watermarks)
+            )
+            answers.append(
+                StreamingAnswer(
+                    result=result,
+                    watermarks={n: watermarks[n] for n in names},
+                    arrived={n: arrived[n] for n in names},
+                    staleness={n: staleness[n] for n in names},
+                    max_lag_frames=self.max_lag_frames,
+                    virtual_time=clock,
+                )
+            )
+        return answers
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, object]:
+        """One dict describing the run so far (JSON-serializable)."""
+        with self._state_lock:
+            arrived = dict(self._arrived)
+            watermarks = dict(self._watermark)
+            clock = self._clock
+            events = self._events_processed
+            epochs = self._epochs
+        ledger = self.cost_ledger()
+        return {
+            "virtual_time": clock,
+            "events_processed": events,
+            "replan_epochs": epochs,
+            "max_lag_frames": self.max_lag_frames,
+            "arrived": arrived,
+            "watermarks": watermarks,
+            "staleness": {
+                name: arrived[name] - watermarks[name] for name in arrived
+            },
+            "allocation": self.allocation.as_dict(),
+            "cache": self.cache_stats().as_dict(),
+            "store": self.store.stats().as_dict(),
+            "model_invocations": ledger.invocations(STAGE_MODEL),
+            "cost": ledger.summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down shard worker pools and the corpus engine."""
+        self._service.close()
+        self._corpus.close()
+
+    def __enter__(self) -> StreamingCorpusService:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingCorpusService(sequences={list(self.names)}, "
+            f"events={self.events_processed}, epochs={self.epochs}, "
+            f"max_lag={self.max_lag_frames})"
+        )

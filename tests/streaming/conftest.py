@@ -1,0 +1,28 @@
+"""Shared fixtures for the streaming-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MASTConfig
+from repro.models import pv_rcnn
+from repro.simulation import once_like, semantickitti_like
+
+
+@pytest.fixture()
+def config() -> MASTConfig:
+    return MASTConfig(budget_fraction=0.15, seed=7)
+
+
+@pytest.fixture()
+def model():
+    return pv_rcnn(seed=5)
+
+
+@pytest.fixture(scope="session")
+def stream_sequences():
+    """Two small full sequences a source replays (kitti + once shaped)."""
+    return [
+        semantickitti_like(0, n_frames=48, with_points=False),
+        once_like(0, n_frames=36, with_points=False),
+    ]

@@ -1,0 +1,121 @@
+"""Regression: repeated 1-frame extends never recompute cached prefixes.
+
+``max_lag_frames=0`` makes every arrival a 1-frame
+:meth:`~repro.serving.QueryService.extend` — the streaming hot path.
+The tail-only invalidation contract must hold under that drip-feed:
+once a workload has warmed the count-series cache, further extends may
+only *splice* recomputed tails onto cached prefixes (partial hits);
+a cold full recompute (a miss) must never happen again.  Pinned via the
+:class:`~repro.serving.CacheStats` counters at both layers:
+
+* the single-shard :class:`~repro.serving.QueryService` directly;
+* the full :class:`~repro.streaming.StreamingCorpusService` drip-feed
+  (no re-plan epoch inside the window — a re-plan legitimately bumps
+  the whole generation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MASTPipeline
+from repro.serving import QueryService
+from repro.simulation import semantickitti_like
+from repro.streaming import ArrivalSchedule, ScheduledFrameSource, StreamingCorpusService
+from tests.serving.harness import random_workload
+
+N_DRIP_FRAMES = 16
+
+
+def test_one_frame_extends_reuse_prefixes(config, model):
+    full = semantickitti_like(0, n_frames=96, with_points=False)
+    pipeline = MASTPipeline(config).fit(
+        full.head(96 - N_DRIP_FRAMES, name=full.name), model
+    )
+    with QueryService(pipeline, max_cache_entries=64) as service:
+        queries = random_workload(seed=13, n_queries=20)
+        service.execute_batch(queries)
+        warmed = service.cache_stats()
+        assert warmed.entries > 0
+        assert warmed.misses > 0
+
+        partials_seen = 0
+        for frame in full[96 - N_DRIP_FRAMES:]:
+            before = service.cache_stats()
+            service.extend([frame])
+            service.execute_batch(queries)
+            after = service.cache_stats()
+            # The workload is re-answered entirely from spliced
+            # prefixes: not one cold recompute, ever.
+            assert after.misses == warmed.misses, (
+                f"1-frame extend at n={service.n_frames} recomputed a "
+                f"cached prefix from scratch"
+            )
+            assert after.partial_hits > before.partial_hits
+            partials_seen += after.partial_hits - before.partial_hits
+        assert service.n_frames == 96
+        assert partials_seen >= N_DRIP_FRAMES
+        assert service.generation == N_DRIP_FRAMES
+
+
+def test_streaming_drip_feed_reuses_prefixes(config, model):
+    """Same pin through the corpus service under ``max_lag_frames=0``."""
+    sequence = semantickitti_like(0, n_frames=44, with_points=False)
+    source = ScheduledFrameSource(
+        [sequence],
+        initial_frames=28,
+        schedule=ArrivalSchedule(rate=10.0, batch_frames=1),
+        seed=2,
+    )
+    with StreamingCorpusService(
+        source,
+        model,
+        config,
+        max_lag_frames=0,
+        replan_every=10_000,  # no epoch inside the window
+    ) as service:
+        texts = [
+            "SELECT FRAMES WHERE COUNT(Car) >= 1",
+            "SELECT AVG OF COUNT(Car)",
+            "SELECT FRAMES WHERE COUNT(Car DIST <= 15) >= 2",
+        ]
+        for text in texts:
+            service.execute(text)
+        warmed = service.cache_stats()
+        assert warmed.misses > 0
+
+        while service.pump(max_events=1):
+            for text in texts:
+                answer = service.execute(text)
+                assert answer.max_staleness == 0
+            stats = service.cache_stats()
+            assert stats.misses == warmed.misses, (
+                "streaming 1-frame ingest must only splice tails"
+            )
+        final = service.cache_stats()
+        assert final.partial_hits > warmed.partial_hits
+        assert service.epochs == 0  # the pin holds within one plan
+
+
+def test_zero_lag_publishes_every_arrival(config, model):
+    """max_lag_frames=0 keeps the watermark glued to arrivals."""
+    sequence = semantickitti_like(1, n_frames=30, with_points=False)
+    source = ScheduledFrameSource(
+        [sequence], initial_frames=20,
+        schedule=ArrivalSchedule(rate=5.0, batch_frames=1), seed=4,
+    )
+    with StreamingCorpusService(
+        source, model, config, max_lag_frames=0, replan_every=10_000
+    ) as service:
+        name = service.names[0]
+        while service.pump(max_events=1):
+            assert service.staleness()[name] == 0
+            assert service.watermarks()[name] == service._arrived[name]
+        assert service.watermarks()[name] == 30
+
+
+@pytest.mark.parametrize("bad", [-1])
+def test_negative_lag_rejected(stream_sequences, model, config, bad):
+    source = ScheduledFrameSource(stream_sequences, initial_frames=8)
+    with pytest.raises(ValueError):
+        StreamingCorpusService(source, model, config, max_lag_frames=bad)

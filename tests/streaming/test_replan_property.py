@@ -1,0 +1,134 @@
+"""Property: online re-planning spends exactly the configured budget.
+
+Hypothesis generates arbitrary arrival interleavings — per-sequence
+rates, batch sizes, start offsets, jitter, staleness bounds and re-plan
+cadence — and for every one of them the drained-and-quiesced service
+must land on *the same final plan* spending *exactly* the configured
+corpus budget:
+
+* ``allocation.total_frames == sum_i budget_for(n_i)`` on the final
+  sequence lengths — the shared adaptive pool is spent to the last
+  frame, regardless of how ingest was interleaved;
+* the per-sequence frame split equals the schedule-independent batch
+  fit on the final corpus (arrival order can shift *when* budget is
+  spent, never *where* it ends up);
+* the merged ledger charges exactly one deep-model invocation per
+  detection-store miss — epochs re-enter sessions with carried
+  detections, so interleaving can change the bill's size but can never
+  double-charge a frame.
+
+Follows the ``tests/property`` conventions: seeded strategies, bounded
+``max_examples``, ``deadline=None`` for model-running examples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MASTConfig
+from repro.corpus import CorpusPipeline, SequenceCatalog
+from repro.models import pv_rcnn
+from repro.simulation import once_like, semantickitti_like
+from repro.streaming import ArrivalSchedule, ScheduledFrameSource, StreamingCorpusService
+from repro.utils.timing import STAGE_MODEL
+
+CONFIG = MASTConfig(budget_fraction=0.15, seed=7)
+MODEL_SEED = 5
+
+#: Tiny but heterogeneous corpus so every example runs in well under a
+#: second; module-level so hypothesis examples share the built frames.
+SEQUENCES = [
+    semantickitti_like(0, n_frames=26, with_points=False),
+    once_like(0, n_frames=20, with_points=False),
+]
+
+#: Schedule-independent ground truth, computed lazily once per policy:
+#: the batch plan on the final corpus.
+_BATCH_PLANS: dict[str, dict[str, int]] = {}
+
+
+def _batch_frames_by_sequence(policy: str) -> dict[str, int]:
+    if policy not in _BATCH_PLANS:
+        catalog = SequenceCatalog()
+        for sequence in SEQUENCES:
+            catalog.register_sequence(sequence, dataset="stream")
+        with CorpusPipeline(catalog, CONFIG, policy=policy) as corpus:
+            corpus.fit(pv_rcnn(seed=MODEL_SEED))
+            assert corpus.allocation is not None
+            _BATCH_PLANS[policy] = dict(corpus.allocation.frames_by_sequence)
+    return _BATCH_PLANS[policy]
+
+
+schedule_strategy = st.builds(
+    ArrivalSchedule,
+    rate=st.floats(min_value=1.0, max_value=60.0, allow_nan=False),
+    batch_frames=st.integers(min_value=1, max_value=5),
+    start_time=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+)
+
+run_strategy = st.fixed_dictionaries(
+    {
+        "schedules": st.tuples(schedule_strategy, schedule_strategy),
+        "initial": st.tuples(
+            st.integers(min_value=2, max_value=12),
+            st.integers(min_value=2, max_value=12),
+        ),
+        "policy": st.sampled_from(["uniform", "ucb"]),
+        "max_lag": st.integers(min_value=0, max_value=5),
+        "replan_every": st.integers(min_value=3, max_value=48),
+        "source_seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+@given(run_strategy)
+@settings(max_examples=12, deadline=None)
+def test_total_spend_equals_configured_budget(run) -> None:
+    names = [sequence.name for sequence in SEQUENCES]
+    source = ScheduledFrameSource(
+        SEQUENCES,
+        initial_frames=dict(zip(names, run["initial"])),
+        schedule=dict(zip(names, run["schedules"])),
+        seed=run["source_seed"],
+    )
+    with StreamingCorpusService(
+        source,
+        pv_rcnn(seed=MODEL_SEED),
+        CONFIG,
+        policy=run["policy"],
+        max_lag_frames=run["max_lag"],
+        replan_every=run["replan_every"],
+    ) as service:
+        service.pump()
+        service.quiesce()
+
+        # Exact spend: the final plan's total equals the corpus budget
+        # the config prescribes for the final sequence lengths.
+        configured = sum(
+            CONFIG.budget_for(len(source.final_sequence(name)))
+            for name in names
+        )
+        allocation = service.allocation
+        assert allocation.total_frames == configured, (
+            f"{run['policy']} plan spent {allocation.total_frames} frames, "
+            f"configured budget is {configured}"
+        )
+        assert (
+            sum(allocation.frames_by_sequence.values())
+            == allocation.total_frames
+        )
+
+        # Where the budget landed is interleaving-independent: it is
+        # exactly the batch plan on the same final corpus.
+        assert (
+            allocation.frames_by_sequence
+            == _batch_frames_by_sequence(run["policy"])
+        )
+
+        # No double charging under any interleaving: one billed
+        # deep-model invocation per detection-store miss.
+        ledger = service.cost_ledger()
+        store = service.store.stats()
+        assert ledger.invocations(STAGE_MODEL) == store.misses

@@ -1,0 +1,169 @@
+"""Concurrency stress: query threads hammering a live ingest loop.
+
+One thread pumps the source (flushes, re-plan epochs and all) while
+``N_THREADS`` worker threads issue scoped and fan-out queries against
+the same :class:`~repro.streaming.StreamingCorpusService`.  The
+assertions encode the service's concurrency contract:
+
+* **no worker raises** — ingest never tears a shard out from under a
+  reader;
+* **monotone watermarks** — a sampler thread takes continuous
+  watermark snapshots and per-sequence values never move backwards;
+* **bounded staleness** — every single answer's reported lag is within
+  ``max_lag_frames`` and internally consistent
+  (``lag == arrived - watermark``);
+* **consistent rollups** — cumulative :class:`CacheStats` counters are
+  monotone, and after the drain the merged :class:`CostLedger` charges
+  exactly one deep-model invocation per :class:`DetectionStore` miss
+  (hits are never double-charged).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.streaming import ArrivalSchedule, ScheduledFrameSource, StreamingCorpusService
+from repro.utils.timing import STAGE_MODEL
+from tests.streaming.harness import assert_same_corpus_answer, batch_reference
+
+N_THREADS = 6
+MAX_LAG = 3
+
+
+@pytest.mark.stress
+def test_query_threads_during_live_ingest(stream_sequences, config, model):
+    source = ScheduledFrameSource(
+        stream_sequences,
+        initial_frames=10,
+        schedule=ArrivalSchedule(rate=20.0, batch_frames=1),
+        seed=11,
+    )
+    service = StreamingCorpusService(
+        source,
+        model,
+        config,
+        policy="ucb",
+        max_lag_frames=MAX_LAG,
+        replan_every=12,
+    )
+    names = service.names
+    texts = [
+        "SELECT FRAMES WHERE COUNT(Car) >= 1",
+        "SELECT AVG OF COUNT(Car)",
+        f"SELECT FRAMES WHERE COUNT(Car) >= 2 IN SEQUENCE {names[0]}",
+        f"SELECT MED OF COUNT(Car) IN SEQUENCE {names[1]}",
+        f"SELECT MAX OF COUNT(Car) IN SEQUENCE {names[0]}",
+    ]
+
+    answers_checked = [0] * N_THREADS
+    errors: list[BaseException] = []
+    watermark_trails: list[dict[str, int]] = []
+    stats_trail: list = []
+    start_gate = threading.Event()
+    stop = threading.Event()
+
+    def worker(thread_index: int) -> None:
+        start_gate.wait()
+        try:
+            while not stop.is_set():
+                for position, text in enumerate(texts):
+                    if (position + thread_index) % 2 == 0:
+                        answer = service.execute(text)
+                        checked = [answer]
+                    else:
+                        checked = service.execute_batch(
+                            [texts[position], texts[-1 - position]]
+                        )
+                    for answer in checked:
+                        assert answer.max_staleness <= MAX_LAG, text
+                        for name, lag in answer.staleness.items():
+                            assert lag >= 0, text
+                            assert lag == (
+                                answer.arrived[name] - answer.watermarks[name]
+                            ), text
+                        answers_checked[thread_index] += 1
+        except BaseException as error:  # noqa: BLE001 - recorded for the assert
+            errors.append(error)
+
+    def sampler() -> None:
+        start_gate.wait()
+        while not stop.is_set():
+            watermark_trails.append(service.watermarks())
+            stats_trail.append(service.cache_stats())
+            time.sleep(0.002)
+        watermark_trails.append(service.watermarks())
+        stats_trail.append(service.cache_stats())
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(N_THREADS)
+    ]
+    monitor = threading.Thread(target=sampler)
+    for thread in threads:
+        thread.start()
+    monitor.start()
+    start_gate.set()
+
+    # The main thread is the ingest loop: pump in small slices with
+    # yields so queries genuinely interleave with flushes and re-plans.
+    while service.pump(max_events=2):
+        time.sleep(0.001)
+    report = service.quiesce()
+    time.sleep(0.05)  # let workers observe the drained state too
+    stop.set()
+
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "query worker hung"
+    monitor.join(timeout=10)
+    assert not monitor.is_alive(), "watermark sampler hung"
+
+    try:
+        assert not errors, f"workers raised: {errors!r}"
+        assert all(count > 0 for count in answers_checked), (
+            f"every thread must get answers in, got {answers_checked}"
+        )
+
+        # --- monotone watermarks, per sequence.
+        assert len(watermark_trails) >= 2
+        for before, after in zip(watermark_trails, watermark_trails[1:]):
+            for name in names:
+                assert after[name] >= before[name], (
+                    f"watermark of {name} went backwards"
+                )
+        final = watermark_trails[-1]
+        for name in names:
+            assert final[name] == len(source.final_sequence(name))
+
+        # --- monotone cumulative cache counters (corpus-wide rollup).
+        for before, after in zip(stats_trail, stats_trail[1:]):
+            for field in ("hits", "misses", "partial_hits", "evictions",
+                          "invalidations"):
+                assert getattr(after, field) >= getattr(before, field), (
+                    f"cache stat {field} went backwards"
+                )
+        assert stats_trail[-1].hits > 0
+        assert stats_trail[-1].invalidations > 0
+
+        # --- cost consistency: one charged invocation per store miss,
+        # and the drained report's rollup agrees with the live objects.
+        ledger = service.cost_ledger()
+        store_stats = service.store.stats()
+        assert ledger.invocations(STAGE_MODEL) == store_stats.misses, (
+            "deep-model invocations must equal detection-store misses "
+            "(cache hits double-charged or misses dropped)"
+        )
+        assert report["model_invocations"] == ledger.invocations(STAGE_MODEL)
+        assert all(lag == 0 for lag in report["staleness"].values())
+
+        # --- and the drained corpus still answers exactly like batch.
+        with batch_reference(source, config, model, policy="ucb") as batch:
+            for text in texts:
+                assert_same_corpus_answer(
+                    service.execute(text).result, batch.execute(text), text
+                )
+    finally:
+        service.close()

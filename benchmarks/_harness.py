@@ -137,3 +137,25 @@ def sequence_label(dataset: str, sequence_index: int) -> str:
 def mean_or_nan(values) -> float:
     values = list(values)
     return float(np.mean(values)) if values else float("nan")
+
+
+def percentiles(samples) -> dict[str, float]:
+    """p50/p95/p99 of raw latency samples (seconds in, **milliseconds** out).
+
+    Serving benches report latency distribution, not aggregate seconds:
+    a tail percentile under sustained load is the product metric (the
+    paper's interactive-query claim dies at p99, not at the mean).
+    Uses the *nearest-rank* definition so every reported value is a
+    latency that actually occurred.
+    """
+    values = np.sort(np.asarray(list(samples), dtype=float))
+    if values.size == 0:
+        return {"p50": float("nan"), "p95": float("nan"), "p99": float("nan")}
+    ranks = {
+        label: min(values.size - 1, int(np.ceil(q * values.size)) - 1)
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+    }
+    return {
+        label: float(values[max(0, rank)]) * 1e3
+        for label, rank in ranks.items()
+    }

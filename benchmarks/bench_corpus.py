@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -167,6 +168,16 @@ def bench_serving(catalog: SequenceCatalog, *, smoke: bool) -> dict:
                 batched = service.execute_batch(texts)
             batched_seconds = (time.perf_counter() - start) / repeats
             cache = service.cache_stats()
+            # Warm per-query latency distribution through the same
+            # service: tail percentiles are the serving metric the
+            # sustained bench gates on; recording them here keeps the
+            # thread baseline's distribution on file too.
+            latencies = []
+            for _ in range(repeats):
+                for text in texts:
+                    t0 = time.perf_counter()
+                    service.execute(text)
+                    latencies.append(time.perf_counter() - t0)
 
         for text, got, want in zip(texts, batched, serial):
             if hasattr(want, "value"):
@@ -182,8 +193,21 @@ def bench_serving(catalog: SequenceCatalog, *, smoke: bool) -> dict:
         "batched_qps": round(len(texts) / batched_seconds, 1),
         "batched_seconds": round(batched_seconds, 4),
         "serial_seconds": round(serial_seconds, 4),
+        "latency_ms": {
+            label: round(value, 4)
+            for label, value in _percentiles(latencies).items()
+        },
         "cache": cache.as_dict(),
     }
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    root = str(Path(__file__).resolve().parent.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from benchmarks._harness import percentiles
+
+    return percentiles(samples)
 
 
 def main(argv: list[str] | None = None) -> int:

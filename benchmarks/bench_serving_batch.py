@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from benchmarks._harness import SEED, emit, get_sequence
+from benchmarks._harness import SEED, emit, get_sequence, percentiles
 from repro.core import MASTConfig, MASTPipeline
 from repro.evalx import format_table
 from repro.models import make_model
@@ -65,6 +65,19 @@ def _batched_run(pipeline, queries):
     return time.perf_counter() - start, service.cache_stats()
 
 
+def _latency_samples(pipeline, queries, *, passes: int = 4) -> list[float]:
+    """Per-query warm latencies through the service (seconds)."""
+    service = QueryService(pipeline)
+    service.execute_batch(queries)  # warm the shared series cache
+    samples = []
+    for _ in range(passes):
+        for query in queries:
+            start = time.perf_counter()
+            service.execute(query)
+            samples.append(time.perf_counter() - start)
+    return samples
+
+
 @pytest.fixture(scope="module")
 def measurements(pipeline, workload):
     serial = min(_serial_run(pipeline, workload) for _ in range(REPEATS))
@@ -72,22 +85,36 @@ def measurements(pipeline, workload):
         (_batched_run(pipeline, workload) for _ in range(REPEATS)),
         key=lambda pair: pair[0],
     )
-    return {"serial": serial, "batched": batched, "stats": stats}
+    return {
+        "serial": serial,
+        "batched": batched,
+        "stats": stats,
+        "latencies": _latency_samples(pipeline, workload),
+    }
 
 
 def test_serving_batch(measurements, pipeline, workload, benchmark):
     serial = measurements["serial"]
     batched = measurements["batched"]
     stats = measurements["stats"]
+    tail = percentiles(measurements["latencies"])
     emit(
         "serving_batch",
         format_table(
-            ["path", "wall-clock (ms)", "speedup", "cache hits", "misses"],
+            ["path", "wall-clock (ms)", "qps", "speedup", "cache hits", "misses"],
             [
-                ["query_many (serial)", f"{1000 * serial:.1f}", "1.00x", "-", "-"],
+                [
+                    "query_many (serial)",
+                    f"{1000 * serial:.1f}",
+                    f"{N_QUERIES / serial:.0f}",
+                    "1.00x",
+                    "-",
+                    "-",
+                ],
                 [
                     "execute_batch",
                     f"{1000 * batched:.1f}",
+                    f"{N_QUERIES / batched:.0f}",
                     f"{serial / batched:.2f}x",
                     stats.hits,
                     stats.misses,
@@ -95,7 +122,9 @@ def test_serving_batch(measurements, pipeline, workload, benchmark):
             ],
             title=f"{N_QUERIES}-query workload, {pipeline.index.n_frames} "
             "frames, cold caches (best of "
-            f"{REPEATS})",
+            f"{REPEATS}); warm per-query latency "
+            f"p50={tail['p50']:.3f}ms p95={tail['p95']:.3f}ms "
+            f"p99={tail['p99']:.3f}ms",
         ),
     )
     assert len(workload) == N_QUERIES

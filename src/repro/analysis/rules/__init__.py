@@ -15,6 +15,7 @@ from repro.analysis.rules.determinism import NoGlobalRng, NoUnseededRng
 from repro.analysis.rules.hygiene import ExecutorShutdown, MutableDefaultArgs
 from repro.analysis.rules.ledger import LedgerChargeDiscipline
 from repro.analysis.rules.locks import LockDiscipline
+from repro.analysis.rules.process import ProcessSafety
 from repro.analysis.rules.wallclock import NoWallClock
 
 __all__ = ["ALL_RULES", "RULES_BY_CODE", "make_rules"]
@@ -27,6 +28,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoUnseededRng,
     MutableDefaultArgs,
     ExecutorShutdown,
+    ProcessSafety,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,160 @@
+"""RPR008 process-safety: start methods configured safely.
+
+The serving tier's long-lived ``spawn`` workers make two classic
+multiprocessing hazards a live concern in this codebase:
+
+* **Import-time start-method configuration.**  A module-level
+  ``multiprocessing.set_start_method(...)`` outside an
+  ``if __name__ == "__main__"`` guard executes in *every* process that
+  imports the module — including spawned workers re-importing their
+  parent's modules, where the second call raises ``RuntimeError`` (or,
+  with ``force=True``, silently reconfigures the host application).
+  Start-method policy belongs to the program entry point, or to a local
+  ``get_context(...)`` that configures nothing globally.
+
+* **``fork`` with live locks.**  A forked child snapshots every lock in
+  whatever state the parent's threads held it — a lock owned by a
+  thread that does not exist in the child stays locked forever.  Any
+  module that declares ``# guarded-by:`` lock registries (the RPR003
+  contract) documents exactly such locks, so requesting the ``fork``
+  (or ``forkserver``) start method from one of those modules is flagged;
+  the serving tier uses ``spawn`` for this reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule
+from repro.analysis.rules.locks import parse_registry
+
+__all__ = ["ProcessSafety"]
+
+_START_METHOD_CALLS = frozenset(
+    {
+        "multiprocessing.set_start_method",
+        "multiprocessing.context.set_start_method",
+    }
+)
+_CONTEXT_CALLS = frozenset(
+    {
+        "multiprocessing.get_context",
+        "multiprocessing.context.get_context",
+    }
+)
+_FORK_METHODS = frozenset({"fork", "forkserver"})
+
+
+def _is_main_guard(test: ast.expr) -> bool:
+    """True for ``__name__ == "__main__"`` (either operand order)."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left, *test.comparators]
+    names = {
+        node.id for node in operands if isinstance(node, ast.Name)
+    }
+    constants = {
+        node.value
+        for node in operands
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+    return "__name__" in names and "__main__" in constants
+
+
+def _requested_method(call: ast.Call) -> str | None:
+    """The start-method string literal a call requests, if any."""
+    candidates: list[ast.expr] = list(call.args[:1])
+    candidates += [kw.value for kw in call.keywords if kw.arg == "method"]
+    for node in candidates:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+    return None
+
+
+class ProcessSafety(Rule):
+    code = "RPR008"
+    name = "process-safety"
+    rationale = (
+        "multiprocessing start-method calls stay out of import time, and "
+        "modules with '# guarded-by:' lock registries never request "
+        "'fork' (forked children inherit locks in unknown states)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        has_registry = any(
+            isinstance(node, ast.ClassDef)
+            and parse_registry(ast.get_docstring(node))
+            for node in ast.walk(ctx.tree)
+        )
+        yield from self._visit(ctx, ctx.tree, False, False, has_registry)
+
+    def _visit(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        in_function: bool,
+        in_main_guard: bool,
+        has_registry: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            in_function = True
+        if isinstance(node, ast.If) and _is_main_guard(node.test):
+            for child in node.body:
+                yield from self._visit(
+                    ctx, child, in_function, True, has_registry
+                )
+            for child in node.orelse:
+                yield from self._visit(
+                    ctx, child, in_function, in_main_guard, has_registry
+                )
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_call(
+                ctx, node, in_function, in_main_guard, has_registry
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(
+                ctx, child, in_function, in_main_guard, has_registry
+            )
+
+    def _check_call(
+        self,
+        ctx: ModuleContext,
+        call: ast.Call,
+        in_function: bool,
+        in_main_guard: bool,
+        has_registry: bool,
+    ) -> Iterator[Finding]:
+        qualified = ctx.imports.resolve(call.func)
+        if qualified is None:
+            return
+        method = _requested_method(call)
+        if (
+            qualified in _START_METHOD_CALLS
+            and not in_function
+            and not in_main_guard
+        ):
+            yield self.finding(
+                ctx,
+                call,
+                "set_start_method at import time runs in every process "
+                "that imports this module (spawned workers included); "
+                "move it under an 'if __name__ == \"__main__\"' guard or "
+                "use a local get_context(...)",
+            )
+            return  # one finding per call site
+        if (
+            has_registry
+            and qualified in (_START_METHOD_CALLS | _CONTEXT_CALLS)
+            and method in _FORK_METHODS
+        ):
+            yield self.finding(
+                ctx,
+                call,
+                f"'{method}' start method in a module with "
+                "'# guarded-by:' lock registries; forked children "
+                "inherit those locks in unknown states — use 'spawn'",
+            )

@@ -133,6 +133,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="times to replay the batch (>= 2 shows cache hits)")
     serve.add_argument("--threads", type=int, default=4,
                        help="worker threads for batch evaluation")
+    serve.add_argument("--backend", choices=("thread", "process"),
+                       default="thread",
+                       help="serving backend for --corpus mode: 'process' "
+                       "routes queries through spawned shard workers behind "
+                       "the coalescing dispatcher")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="process-backend worker count "
+                       "(0 = one per sequence)")
+    serve.add_argument("--wave-size", type=int, default=0,
+                       help="replay the workload in client waves of this "
+                       "many queries (0 = the whole batch at once)")
     serve.add_argument("--show", type=int, default=5,
                        help="print the first N answers (0 for none)")
     serve.add_argument("--corpus", nargs="+", default=None, metavar="SPEC",
@@ -473,6 +484,10 @@ def _cmd_serve_workload(args, out) -> int:
         print("error: empty workload", file=out)
         return 2
 
+    if args.backend == "process" and not args.corpus:
+        print("error: --backend process requires --corpus (the process "
+              "tier shards a corpus across workers)", file=out)
+        return 2
     if args.corpus:
         from repro.corpus import CorpusPipeline, CorpusQueryService
 
@@ -482,9 +497,18 @@ def _cmd_serve_workload(args, out) -> int:
             print(f"error: {error}", file=out)
             return 2
         pipeline = CorpusPipeline(catalog, config, policy="ucb").fit(model)
-        service = CorpusQueryService(pipeline, max_workers=max(1, args.threads))
+        service = CorpusQueryService(
+            pipeline,
+            max_workers=max(1, args.threads),
+            backend=args.backend,
+            workers=args.workers if args.workers > 0 else None,
+        )
         n_frames = catalog.total_frames()
         scope_note = f" across {len(catalog)} sequences"
+        if args.backend == "process":
+            scope_note += (
+                f" ({len(service.pool.workers)} process workers)"
+            )
     else:
         from repro.serving import QueryService
 
@@ -499,10 +523,16 @@ def _cmd_serve_workload(args, out) -> int:
         n_frames = len(sequence)
         scope_note = ""
 
+    wave = max(0, args.wave_size)
     start = perf_counter()
     results = []
     for _ in range(max(1, args.repeat)):
-        results = service.execute_batch(queries)
+        if wave and wave < len(queries):
+            results = []
+            for lo in range(0, len(queries), wave):
+                results.extend(service.execute_batch(queries[lo:lo + wave]))
+        else:
+            results = service.execute_batch(queries)
     elapsed = perf_counter() - start
 
     n_retrieval = sum(hasattr(r, "cardinality") for r in results)
@@ -514,6 +544,14 @@ def _cmd_serve_workload(args, out) -> int:
         file=out,
     )
     print(f"cache: {service.cache_stats().describe()}", file=out)
+    if args.corpus and args.backend == "process":
+        counters = service.dispatcher.counters()
+        print(
+            f"dispatcher: {counters['coalesced']} coalesced / "
+            f"{counters['shed']} shed / "
+            f"{counters['dispatched_batches']} batches dispatched",
+            file=out,
+        )
     ledger_summary = (
         pipeline.ledger.cache_summary()
         if not args.corpus

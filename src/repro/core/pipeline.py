@@ -380,6 +380,18 @@ class MASTPipeline:
         return self._sampling
 
     @property
+    def sequence(self) -> FrameSequence:
+        require(self._sequence is not None, "fit() has not been called")
+        assert self._sequence is not None
+        return self._sequence
+
+    @property
+    def model(self) -> DetectionModel:
+        require(self._model is not None, "fit() has not been called")
+        assert self._model is not None
+        return self._model
+
+    @property
     def index(self) -> MASTIndex:
         require(self._index is not None, "fit() has not been called")
         assert self._index is not None

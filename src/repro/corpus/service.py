@@ -17,14 +17,23 @@ every distinct count series exactly once.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from collections.abc import Iterable
-from typing import Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:
+    from repro.serving.dispatcher import Dispatcher
+    from repro.serving.mp import ProcessShardPool
+    from repro.serving.protocol import ShardWarmup, StatsResponse
 
 from repro.core.pipeline import MASTPipeline
 from repro.corpus.allocator import AllocationReport
 from repro.corpus.pipeline import CorpusPipeline, CorpusResult, ShardResult
 from repro.corpus.results import merge_aggregates, merge_retrievals
 from repro.data.frame import PointCloudFrame
+from repro.inference.store import DetectionStore, persist_sampled_detections
 from repro.models.base import DetectionModel
 from repro.query.ast import (
     AggregateQuery,
@@ -41,6 +50,9 @@ from repro.utils.validation import require
 
 __all__ = ["CorpusQueryService"]
 
+#: Serving backends :class:`CorpusQueryService` supports.
+BACKENDS = ("thread", "process")
+
 #: Inputs :meth:`CorpusQueryService.execute` accepts.
 CorpusQuery = Union[
     str, ScopedQuery, RetrievalQuery, CompoundRetrievalQuery, AggregateQuery
@@ -56,10 +68,20 @@ class CorpusQueryService:
         *,
         max_cache_entries: int = 512,
         max_workers: int = 8,
+        backend: str = "thread",
+        workers: int | None = None,
+        store_dir: str | Path | None = None,
+        max_inflight: int = 1024,
+        max_batch: int = 128,
     ) -> None:
+        require(
+            backend in BACKENDS,
+            f"unknown backend {backend!r}; choose from {BACKENDS}",
+        )
         self._corpus = corpus
         self._max_cache_entries = int(max_cache_entries)
         self._max_workers = int(max_workers)
+        self._backend = backend
         self._services = {
             name: QueryService(
                 shard,
@@ -68,6 +90,119 @@ class CorpusQueryService:
             )
             for name, shard in corpus.shards.items()
         }
+        self._pool: ProcessShardPool | None = None
+        self._dispatcher: Dispatcher | None = None
+        self._parse_memo: dict[str, ScopedQuery] = {}
+        self._owns_store_dir = False
+        self._store_dir: Path | None = None
+        self._patched_store: DetectionStore | None = None
+        if backend == "process":
+            self._start_process_backend(
+                workers, store_dir, max_inflight, max_batch
+            )
+
+    def _start_process_backend(
+        self,
+        workers: int | None,
+        store_dir: str | Path | None,
+        max_inflight: int,
+        max_batch: int,
+    ) -> None:
+        """Export shard detections, spawn workers, stand up the dispatcher.
+
+        The parent stays authoritative: its per-shard services keep
+        billing extensions and re-plans exactly as the thread backend
+        would, while queries route to the worker fleet.  The shared
+        detection-store directory is what makes worker warm-up (and
+        post-extension tail detection) cost disk reads, not model
+        invocations.
+        """
+        from repro.serving.dispatcher import Dispatcher
+        from repro.serving.mp import ProcessShardPool, WorkerClient
+        from repro.serving.protocol import WorkerInit, assign_shards
+
+        corpus = self._corpus
+        names = self.names
+        n_workers = int(workers) if workers is not None else len(names)
+        require(n_workers >= 1, f"workers must be >= 1, got {n_workers}")
+        if store_dir is None:
+            self._store_dir = Path(
+                tempfile.mkdtemp(prefix="repro-serve-store-")
+            )
+            self._owns_store_dir = True
+        else:
+            self._store_dir = Path(store_dir)
+        # Route every future parent-side detection (extend tails,
+        # re-plans) through the shared npz directory so workers resolve
+        # the same frames as disk hits instead of re-billing them.
+        engine_store = corpus.engine.store
+        if engine_store is not None and engine_store.persist_dir is None:
+            engine_store.persist_dir = self._store_dir
+            self._store_dir.mkdir(parents=True, exist_ok=True)
+            self._patched_store = engine_store
+        warmups: dict[str, ShardWarmup] = {}
+        for name, shard in corpus.shards.items():
+            sampling = shard.sampling_result
+            warmup = ProcessShardPool.make_warmup(
+                name, corpus.catalog.sequence(name), sampling
+            )
+            persist_sampled_detections(
+                self._store_dir,
+                name,
+                warmup.frames,
+                sampling.detections,
+                shard.model,
+            )
+            warmups[name] = warmup
+        model = corpus.shards[names[0]].model
+        assignment = assign_shards(names, n_workers)
+        clients = [
+            WorkerClient(
+                worker_id,
+                WorkerInit(
+                    worker_id=worker_id,
+                    config=corpus.config,
+                    model=model,
+                    store_dir=str(self._store_dir),
+                    shards=tuple(warmups[name] for name in owned),
+                    max_cache_entries=self._max_cache_entries,
+                ),
+            )
+            for worker_id, owned in enumerate(assignment)
+        ]
+        self._pool = ProcessShardPool(clients, names)
+        self._dispatcher = Dispatcher(
+            self._pool, max_inflight=max_inflight, max_batch=max_batch
+        )
+
+    @property
+    def backend(self) -> str:
+        """Active serving backend (``"thread"`` or ``"process"``)."""
+        return self._backend
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        """The async dispatcher (process backend only)."""
+        require(
+            self._dispatcher is not None,
+            "dispatcher is only available with backend='process'",
+        )
+        assert self._dispatcher is not None
+        return self._dispatcher
+
+    @property
+    def pool(self) -> ProcessShardPool:
+        """The process worker pool (process backend only)."""
+        require(
+            self._pool is not None,
+            "pool is only available with backend='process'",
+        )
+        assert self._pool is not None
+        return self._pool
+
+    def worker_stats(self) -> list[StatsResponse]:
+        """Per-worker serving counters (process backend only)."""
+        return self.pool.stats()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -90,8 +225,18 @@ class CorpusQueryService:
         return self._services[name]
 
     def cache_stats(self) -> CacheStats:
-        """Corpus-wide rollup of the per-shard cache counters."""
+        """Corpus-wide rollup of the per-shard cache counters.
+
+        With the process backend the rollup spans the worker fleet's
+        caches (replicated shards count once per replica — replicas are
+        genuinely separate caches).
+        """
         total = CacheStats()
+        if self._pool is not None:
+            for response in self.pool.stats():
+                for stats in response.shards.values():
+                    total = total + stats.cache
+            return total
         for service in self._services.values():
             total = total + service.cache_stats()
         return total
@@ -116,6 +261,19 @@ class CorpusQueryService:
     # ------------------------------------------------------------------
     def _coerce(self, query: CorpusQuery) -> ScopedQuery:
         if isinstance(query, str):
+            if self._dispatcher is not None:
+                # Serving-tier fast path: query ASTs are frozen, so hot
+                # query texts parse once and the tree is shared.  The
+                # memo is unbounded-in-principle but keyed by distinct
+                # query strings; a wholesale clear at the cap keeps the
+                # worst case bounded without LRU bookkeeping.
+                scoped = self._parse_memo.get(query)
+                if scoped is None:
+                    scoped = parse_scoped_query(query)
+                    if len(self._parse_memo) >= 4096:
+                        self._parse_memo.clear()
+                    self._parse_memo[query] = scoped
+                return scoped
             return parse_scoped_query(query)
         if isinstance(query, ScopedQuery):
             return query
@@ -125,9 +283,20 @@ class CorpusQueryService:
             return ScopedQuery(query)
         raise TypeError(f"unsupported query type {type(query).__name__}")
 
+    def _check_scope(self, scoped: ScopedQuery) -> ScopedQuery:
+        if scoped.sequence is not None:
+            require(
+                scoped.sequence in self._services,
+                f"unknown sequence {scoped.sequence!r}; "
+                f"corpus has {sorted(self._services)}",
+            )
+        return scoped
+
     def execute(self, query: CorpusQuery) -> CorpusResult:
         """Answer one (possibly scoped) query through the shard caches."""
         scoped = self._coerce(query)
+        if self._dispatcher is not None:
+            return self.dispatcher.execute(self._check_scope(scoped))  # type: ignore[no-any-return]
         if scoped.sequence is not None:
             return self.service(scoped.sequence).execute(scoped.query)
         per_shard = {
@@ -152,6 +321,10 @@ class CorpusQueryService:
         submission order, fan-outs merging across shards.
         """
         scoped_list = [self._coerce(q) for q in queries]
+        if self._dispatcher is not None:
+            return self.dispatcher.execute_many(  # type: ignore[no-any-return]
+                [self._check_scope(s) for s in scoped_list]
+            )
         names = self.names
         jobs: dict[str, list[tuple[int, object]]] = {name: [] for name in names}
         for position, scoped in enumerate(scoped_list):
@@ -213,9 +386,31 @@ class CorpusQueryService:
 
         The catalog entry grows in lockstep with the shard, so a later
         :meth:`replan` plans over the frames this extension delivered.
+
+        With the process backend the parent's extend stays authoritative
+        (the model is billed here, once, and the tail detections land in
+        the shared npz store), then a versioned
+        :class:`~repro.serving.protocol.ExtendRequest` broadcasts to
+        every replica; this method returns only after all replicas ack,
+        so subsequent queries answer from the new epoch.
         """
         self._corpus.catalog.extend_sequence(name, new_frames)
-        self.service(name).extend(new_frames, model=model)
+        parent = self.service(name)
+        parent.extend(new_frames, model=model)
+        if self._pool is not None:
+            from repro.serving.protocol import materialize_frames
+
+            assert self._store_dir is not None
+            shard = self._corpus.shards[name]
+            sampling = shard.sampling_result
+            persist_sampled_detections(
+                self._store_dir,
+                name,
+                list(shard.sequence),
+                sampling.detections,
+                shard.model,
+            )
+            self.pool.extend(name, materialize_frames(new_frames))
         return self
 
     def replan(self, model: DetectionModel) -> AllocationReport:
@@ -251,13 +446,41 @@ class CorpusQueryService:
                     corpus.catalog.sequence(name), model, sampling
                 )
         corpus.allocation = allocation
+        if self._pool is not None:
+            from repro.serving.mp import ProcessShardPool
+
+            pool = self.pool
+            for name, sampling in samplings.items():
+                warmup = None
+                if name not in pool.versions:
+                    warmup = ProcessShardPool.make_warmup(
+                        name, corpus.catalog.sequence(name), sampling
+                    )
+                pool.adopt(name, sampling, warmup)
         return allocation
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down every shard service's worker pool (idempotent)."""
+        """Shut down every shard service's worker pool (idempotent).
+
+        With the process backend this also stops the dispatcher loop,
+        shuts down the worker fleet, and removes the temporary store
+        directory when this service created it.
+        """
+        if self._dispatcher is not None:
+            self._dispatcher.close()
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._patched_store is not None:
+            self._patched_store.persist_dir = None
+            self._patched_store = None
+        if self._owns_store_dir and self._store_dir is not None:
+            shutil.rmtree(self._store_dir, ignore_errors=True)
+            self._owns_store_dir = False
         for service in self._services.values():
             service.close()
 

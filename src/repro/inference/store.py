@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -38,6 +39,8 @@ __all__ = [
     "DetectionStore",
     "detection_key",
     "model_fingerprint",
+    "persist_sampled_detections",
+    "load_sampled_detections",
 ]
 
 #: Store key: ``(sequence id, frame id, model fingerprint, content hash)``.
@@ -257,3 +260,64 @@ class DetectionStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DetectionStore({self.stats().describe()})"
+
+
+# ----------------------------------------------------------------------
+# Shard warm-up path (process serving tier)
+# ----------------------------------------------------------------------
+def persist_sampled_detections(
+    persist_dir: str | Path,
+    sequence_name: str,
+    frames: Sequence[PointCloudFrame],
+    detections: Mapping[int, ObjectArray],
+    model: DetectionModel,
+) -> int:
+    """Export one shard's sampled detections as npz store entries.
+
+    The serving tier's parent process calls this before spawning (or
+    after extending past) its shard workers: every ``frame_id ->
+    detections`` entry is written under its canonical content key, so a
+    worker rebuilding the shard resolves each sampled frame as a disk
+    hit — warm-up costs npz reads, never model invocations.  Existing
+    files are kept (``DetectionStore.put`` write-through skips them), so
+    repeated exports after incremental extensions only pay for the new
+    tail.  Returns the number of entries exported.
+    """
+    store = DetectionStore(max_entries=1, persist_dir=persist_dir)
+    fingerprint = model_fingerprint(model)
+    for frame_id, objects in detections.items():
+        key = detection_key(sequence_name, frames[int(frame_id)], fingerprint)
+        store.put(key, objects)
+    return len(detections)
+
+
+def load_sampled_detections(
+    store: DetectionStore,
+    sequence_name: str,
+    frames: Sequence[PointCloudFrame],
+    sampled_ids: Iterable[int],
+    model: DetectionModel,
+) -> dict[int, ObjectArray]:
+    """Reload a shard's sampled detections through ``store``.
+
+    The worker half of the warm-up path: each sampled frame resolves
+    through the store's memory -> disk lookup chain.  A missing entry is
+    a hard error — warm-up must never silently re-run the model, or the
+    "zero invocations billed" invariant the process tier advertises
+    would quietly stop being true.
+    """
+    fingerprint = model_fingerprint(model)
+    out: dict[int, ObjectArray] = {}
+    for frame_id in sampled_ids:
+        frame = frames[int(frame_id)]
+        key = detection_key(sequence_name, frame, fingerprint)
+        objects = store.lookup(key)
+        if objects is None:
+            raise KeyError(
+                f"detection store has no entry for sequence "
+                f"{sequence_name!r} frame {int(frame_id)} "
+                f"(fingerprint {fingerprint}); export with "
+                f"persist_sampled_detections() before warming workers"
+            )
+        out[int(frame_id)] = objects
+    return out

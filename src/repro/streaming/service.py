@@ -149,6 +149,8 @@ class StreamingCorpusService:
         max_cache_entries: int = 512,
         max_workers: int = 8,
         detection_store: DetectionStore | None = None,
+        backend: str = "thread",
+        serving_workers: int | None = None,
     ) -> None:
         require(max_lag_frames >= 0, "max_lag_frames must be >= 0")
         require(replan_every >= 1, "replan_every must be >= 1")
@@ -176,10 +178,15 @@ class StreamingCorpusService:
             detection_store=self.store,
         )
         self._corpus.fit(model)
+        # Serving backend pass-through: ``backend="process"`` moves
+        # query answering into the sharded worker fleet while ingest
+        # stays parent-side (flushes broadcast versioned invalidations).
         self._service = CorpusQueryService(
             self._corpus,
             max_cache_entries=max_cache_entries,
             max_workers=max_workers,
+            backend=backend,
+            workers=serving_workers,
         )
 
         self._ingest_lock = threading.Lock()

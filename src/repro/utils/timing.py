@@ -49,6 +49,22 @@ class CostLedger:
     )
 
     # ------------------------------------------------------------------
+    # Pickling (serving-tier wire protocol)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Snapshot without the lock (locks cannot cross a pipe)."""
+        with self._lock:
+            return {
+                key: value
+                for key, value in self.__dict__.items()
+                if key != "_lock"
+            }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def charge(self, stage: str, seconds: float, *, count: int = 1) -> None:

@@ -145,6 +145,23 @@ FIXTURES = {
                 return list(pool.map(str, tasks))
         """,
     ),
+    "RPR008": (
+        """
+        import multiprocessing
+
+        multiprocessing.set_start_method("spawn")  # HIT
+        """,
+        """
+        import multiprocessing
+
+        def spawn_worker(target):
+            context = multiprocessing.get_context("spawn")
+            return context.Process(target=target, daemon=True)
+
+        if __name__ == "__main__":
+            multiprocessing.set_start_method("spawn")
+        """,
+    ),
 }
 
 CODES = sorted(FIXTURES)
@@ -327,3 +344,76 @@ def test_rpr007_accepts_pool_field_with_shutdown():
         """,
     )
     assert report.findings == []
+
+
+def test_rpr008_flags_fork_with_guarded_locks():
+    report = run_rule(
+        "RPR008",
+        """
+        from multiprocessing import get_context
+
+        class Cache:
+            '''Shared cache.
+
+            # guarded-by: _lock: _entries
+            '''
+
+        def spawn_worker(target):
+            context = get_context("fork")
+            return context.Process(target=target)
+        """,
+    )
+    assert [f.code for f in report.findings] == ["RPR008"]
+    assert "fork" in report.findings[0].message
+
+
+def test_rpr008_allows_fork_without_lock_registries():
+    # File-local rule: without a guarded-by registry in the module there
+    # is no documented live lock to inherit, so fork passes here.
+    report = run_rule(
+        "RPR008",
+        """
+        from multiprocessing import get_context
+
+        def spawn_worker(target):
+            context = get_context("fork")
+            return context.Process(target=target)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_rpr008_allows_spawn_with_guarded_locks():
+    report = run_rule(
+        "RPR008",
+        """
+        from multiprocessing import get_context
+
+        class Cache:
+            '''Shared cache.
+
+            # guarded-by: _lock: _entries
+            '''
+
+        def spawn_worker(target):
+            context = get_context("spawn")
+            return context.Process(target=target)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_rpr008_flags_set_start_method_inside_plain_if():
+    # A module-level conditional is still import time; only the
+    # __main__ guard (or a function body) defers execution.
+    report = run_rule(
+        "RPR008",
+        """
+        import sys
+        import multiprocessing
+
+        if sys.platform != "win32":
+            multiprocessing.set_start_method("spawn")
+        """,
+    )
+    assert [f.code for f in report.findings] == ["RPR008"]

@@ -1,0 +1,1 @@
+"""Process-sharded serving tier: pool, dispatcher, differential pins."""

@@ -1,0 +1,168 @@
+"""Differential pins: process backend ≡ thread backend ≡ serial.
+
+Bit-identity is the contract, not approximation: the worker processes
+rebuild each shard from the same sampling result over the same store,
+run the same provider code, and the parent merges fan-outs with the
+same exact merge — so every answer must match the serial reference to
+the last bit, including after an incremental extend and while a
+streaming source drip-feeds frames through versioned invalidations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusQueryService
+from repro.query import parse_query
+from repro.simulation import semantickitti_like
+from repro.streaming import (
+    ArrivalSchedule,
+    ScheduledFrameSource,
+    StreamingCorpusService,
+)
+
+
+def mixed_workload(names: tuple[str, ...]) -> list[str]:
+    return [
+        f"SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1 IN SEQUENCE {names[0]}",
+        "SELECT AVG OF COUNT(Car)",
+        f"SELECT MED OF COUNT(Pedestrian) IN SEQUENCE {names[1]}",
+        "SELECT FRAMES WHERE COUNT(Car) >= 1 AND COUNT(Truck) >= 1",
+        "SELECT MED OF COUNT(Car DIST >= 5)",
+        f"SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1 IN SEQUENCE {names[0]}",
+        "SELECT COUNT FRAMES WHERE COUNT(Car DIST <= 10) >= 2",
+        "SELECT AVG OF COUNT(Car)",
+    ]
+
+
+def assert_same_answer(actual, expected, context: str) -> None:
+    """Exact equality across the three result shapes the tier returns."""
+    if hasattr(expected, "by_sequence"):
+        assert set(actual.by_sequence) == set(expected.by_sequence), context
+        for name, want in expected.by_sequence.items():
+            assert_same_answer(actual.by_sequence[name], want, f"{context}/{name}")
+    if hasattr(expected, "frame_ids"):
+        assert np.array_equal(actual.frame_ids, expected.frame_ids), context
+    if hasattr(expected, "value"):
+        same = actual.value == expected.value or (
+            np.isnan(actual.value) and np.isnan(expected.value)
+        )
+        assert same, context
+
+
+class TestMixedWorkload:
+    def test_process_equals_thread_equals_serial(self, mp_service, mp_corpus):
+        texts = mixed_workload(mp_service.names)
+        from_process = mp_service.execute_batch(texts)
+        serial = [mp_corpus.query(text) for text in texts]
+        with CorpusQueryService(mp_corpus) as thread_service:
+            from_thread = thread_service.execute_batch(texts)
+        for text, p, t, s in zip(texts, from_process, from_thread, serial):
+            assert_same_answer(p, s, f"process vs serial: {text}")
+            assert_same_answer(t, s, f"thread vs serial: {text}")
+
+    def test_execute_many_equals_execute_batch(self, mp_service):
+        texts = mixed_workload(mp_service.names)
+        batched = mp_service.execute_batch(texts)
+        serial = mp_service.execute_many(texts)
+        for text, a, b in zip(texts, batched, serial):
+            assert_same_answer(a, b, f"batch vs many: {text}")
+
+    def test_unknown_sequence_rejected(self, mp_service):
+        with pytest.raises(ValueError, match="unknown sequence"):
+            mp_service.execute("SELECT AVG OF COUNT(Car) IN SEQUENCE nope")
+
+
+class TestExtendInvalidation:
+    def test_answers_track_extend(self, mp_config, mp_model):
+        """A versioned extend retires every stale coalescing entry: the
+        fleet answers from the new epoch as soon as extend() returns."""
+        from repro.corpus import CorpusPipeline, SequenceCatalog, SequenceSpec
+
+        catalog = SequenceCatalog()
+        catalog.register(SequenceSpec("semantickitti", 0, n_frames=60))
+        catalog.register(SequenceSpec("once", 0, n_frames=48))
+        with CorpusPipeline(catalog, mp_config, policy="uniform") as corpus:
+            corpus.fit(mp_model)
+            with CorpusQueryService(
+                corpus, backend="process", workers=2
+            ) as service:
+                name = corpus.names[0]
+                other = corpus.names[1]
+                text = f"SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1 IN SEQUENCE {name}"
+                fan_out = "SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1"
+                before = service.execute(text).n_frames
+                stale_fan_out = service.execute(fan_out)
+
+                full = semantickitti_like(0, n_frames=72, with_points=False)
+                tail = list(full)[60:]
+                service.extend(name, tail, model=mp_model)
+
+                assert service.pool.versions[name] == 1
+                after = service.execute(text)
+                assert after.n_frames == before + len(tail)
+                # Bit-identical to the parent's post-extend answer.
+                want = corpus.shard(name).query(
+                    parse_query("SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1")
+                )
+                assert np.array_equal(after.frame_ids, want.frame_ids)
+                # The fan-out keys on the version vector, so the stale
+                # shared answer is never reused.
+                fresh = service.execute(fan_out)
+                assert fresh.n_frames == stale_fan_out.n_frames + len(tail)
+                assert (
+                    fresh.by_sequence[other].n_frames
+                    == stale_fan_out.by_sequence[other].n_frames
+                )
+
+
+class TestStreamingIngest:
+    def test_process_backend_tracks_drip_feed(self, config):
+        """Under 1-frame streaming ingest every flush broadcasts a
+        versioned invalidation; each post-pump answer must equal the
+        parent corpus's serial answer for the same epoch."""
+        from repro.models import pv_rcnn
+
+        model = pv_rcnn(seed=5)
+        sequence = semantickitti_like(0, n_frames=36, with_points=False)
+        source = ScheduledFrameSource(
+            [sequence],
+            initial_frames=30,
+            schedule=ArrivalSchedule(rate=10.0, batch_frames=1),
+            seed=3,
+        )
+        with StreamingCorpusService(
+            source,
+            model,
+            config,
+            max_lag_frames=0,
+            replan_every=10_000,  # no epoch inside the drip window
+            backend="process",
+            serving_workers=1,
+        ) as service:
+            name = service.names[0]
+            scoped_text = (
+                f"SELECT FRAMES WHERE COUNT(Car DIST <= 20) >= 1 "
+                f"IN SEQUENCE {name}"
+            )
+            fan_out_text = "SELECT AVG OF COUNT(Car)"
+            while service.pump(max_events=1):
+                answer = service.execute(scoped_text)
+                assert answer.staleness[name] == 0
+                want = service._corpus.query(scoped_text)
+                assert np.array_equal(
+                    answer.result.frame_ids, want.frame_ids
+                )
+                aggregate = service.execute(fan_out_text)
+                assert (
+                    aggregate.result.value
+                    == service._corpus.query(fan_out_text).value
+                )
+            assert service.watermarks()[name] == 36
+            # quiesce() re-plans: the fleet adopts the new sampling via
+            # versioned AdoptRequests and must keep answering correctly.
+            service.quiesce()
+            answer = service.execute(scoped_text)
+            want = service._corpus.query(scoped_text)
+            assert np.array_equal(answer.result.frame_ids, want.frame_ids)

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.analysis.imports import ImportMap
+    from repro.analysis.project import ProjectContext
     from repro.analysis.suppressions import Suppression
 
 #: Code used for findings raised by the engine itself (parse failures,
@@ -101,3 +102,23 @@ class Rule(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.code} ({self.name})>"
+
+
+class ProjectRule(Rule):
+    """A whole-program invariant, checked over every module at once.
+
+    Per-file rules see one :class:`ModuleContext`; project rules see a
+    :class:`~repro.analysis.project.ProjectContext` holding all of them,
+    which is how cross-module properties (lock-acquisition order,
+    transitive blocking reachability) become lintable.  ``check`` is a
+    no-op — the engine calls :meth:`check_project` once per run, after
+    all modules have parsed, and routes each finding back through the
+    owning module's suppressions and per-directory configuration.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield every violation of this rule across ``project``."""

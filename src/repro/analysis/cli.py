@@ -14,7 +14,7 @@ from typing import IO
 
 from repro.analysis.config import LintConfig, load_config
 from repro.analysis.engine import lint_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.rules import ALL_RULES
 
 __all__ = ["build_lint_parser", "run_lint"]
@@ -29,14 +29,29 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "benchmarks"],
-        help="files or directories to lint (default: src benchmarks)",
+        default=["src", "benchmarks", "tests"],
+        help="files or directories to lint (default: src benchmarks tests)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE "
+        "(for CI artifact upload / code-scanning annotations)",
+    )
+    parser.add_argument(
+        "--witness-report",
+        default=None,
+        metavar="FILE",
+        help="cross-check a runtime lock-witness dump (JSON, written by "
+        "the REPRO_WITNESS pytest fixture) against the static "
+        "acquisition-order graph of PATHS instead of linting",
     )
     parser.add_argument(
         "--select",
@@ -68,6 +83,13 @@ def run_lint(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
             print(f"{rule.code}  {rule.name}: {rule.rationale}", file=out)
         return 0
 
+    if args.witness_report:
+        from repro.analysis.witness import check_witness_report
+
+        return check_witness_report(
+            Path(args.witness_report), [Path(p) for p in args.paths], out=out
+        )
+
     if args.no_config:
         config = LintConfig()
     else:
@@ -79,8 +101,13 @@ def run_lint(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         )
 
     report = lint_paths(list(args.paths), config=config)
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            render_sarif(report, handle)
     if args.format == "json":
         render_json(report, out)
+    elif args.format == "sarif":
+        render_sarif(report, out)
     else:
         render_text(report, out)
     return 0 if report.ok else 1

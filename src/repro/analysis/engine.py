@@ -19,9 +19,10 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.base import ENGINE_CODE, Finding, ModuleContext, Rule
+from repro.analysis.base import ENGINE_CODE, Finding, ModuleContext, ProjectRule, Rule
 from repro.analysis.config import LintConfig
 from repro.analysis.imports import ImportMap
+from repro.analysis.project import ProjectContext
 from repro.analysis.rules import ALL_RULES, make_rules
 from repro.analysis.suppressions import scan_suppressions, suppression_findings
 
@@ -50,8 +51,13 @@ class Report:
 
 def _lint_module(
     source: str, path: str, rules: list[Rule]
-) -> tuple[list[Finding], list[Finding]]:
-    """(active findings, suppressed findings) for one module."""
+) -> tuple[list[Finding], list[Finding], ModuleContext | None]:
+    """(active, suppressed, parsed context) for one module.
+
+    The context comes back ``None`` on a syntax error; otherwise the
+    caller feeds it into the run's :class:`ProjectContext` so project
+    rules see every module at once.
+    """
     lines = source.splitlines()
     suppressions = scan_suppressions(source)
     try:
@@ -64,7 +70,7 @@ def _lint_module(
             code=ENGINE_CODE,
             message=f"syntax error: {error.msg}",
         )
-        return [finding], []
+        return [finding], [], None
     ctx = ModuleContext(
         path=path,
         source=source,
@@ -84,7 +90,30 @@ def _lint_module(
                 active.append(finding)
     known_codes = {rule.code for rule in ALL_RULES}
     active.extend(suppression_findings(path, suppressions, known_codes))
-    return active, suppressed
+    return active, suppressed, ctx
+
+
+def _run_project_rules(
+    project: ProjectContext,
+    rules: list[ProjectRule],
+    enabled_codes: dict[str, set[str]],
+    report: Report,
+) -> None:
+    """Run project rules over ``project``, routing each finding through
+    the owning file's configuration and suppressions."""
+    for rule in rules:
+        for finding in rule.check_project(project):
+            codes = enabled_codes.get(finding.path)
+            if codes is not None and rule.code not in codes:
+                continue
+            ctx = project.module_for_path(finding.path)
+            suppression = (
+                ctx.suppressions.get(finding.line) if ctx is not None else None
+            )
+            if suppression is not None and suppression.covers(finding.code):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
 
 
 def lint_source(
@@ -104,8 +133,19 @@ def lint_source(
         config = config or LintConfig()
         codes = config.enabled_for(path, [rule.code for rule in ALL_RULES])
         rules = make_rules(tuple(codes)) if codes else []
-    active, suppressed = _lint_module(source, path, rules)
-    return Report(findings=sorted(active), suppressed=sorted(suppressed), files=1)
+    active, suppressed, ctx = _lint_module(source, path, rules)
+    report = Report(findings=active, suppressed=suppressed, files=1)
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    if project_rules and ctx is not None:
+        _run_project_rules(
+            ProjectContext.single(ctx),
+            project_rules,
+            {ctx.path: {rule.code for rule in rules}},
+            report,
+        )
+    report.findings.sort()
+    report.suppressed.sort()
+    return report
 
 
 def iter_python_files(paths: list[Path]) -> list[Path]:
@@ -140,6 +180,9 @@ def lint_paths(
     report = Report()
     all_codes = [rule.code for rule in ALL_RULES]
     rule_cache: dict[tuple[str, ...], list[Rule]] = {}
+    project = ProjectContext()
+    enabled_codes: dict[str, set[str]] = {}
+    project_rules: dict[str, ProjectRule] = {}
     for file in iter_python_files([Path(p) for p in paths]):
         display = _display_path(file, root)
         codes = tuple(config.enabled_for(display, all_codes))
@@ -157,10 +200,25 @@ def lint_paths(
                 )
             )
             continue
-        active, suppressed = _lint_module(source, display, rules)
+        per_file = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+        active, suppressed, ctx = _lint_module(source, display, per_file)
         report.findings.extend(active)
         report.suppressed.extend(suppressed)
         report.files += 1
+        if ctx is not None:
+            # Every parsed module joins the analysis unit (so summaries
+            # can resolve cross-module calls even into files where the
+            # project rules themselves are disabled); per-path filtering
+            # below decides where findings may *land*.
+            project.add(ctx)
+            enabled_codes[display] = set(codes)
+            for rule in rules:
+                if isinstance(rule, ProjectRule):
+                    project_rules.setdefault(rule.code, rule)
+    if project_rules:
+        _run_project_rules(
+            project, list(project_rules.values()), enabled_codes, report
+        )
     report.findings.sort()
     report.suppressed.sort()
     return report

@@ -1,0 +1,213 @@
+"""The global lock-acquisition-order graph and blocking closures.
+
+Built from the per-function summaries (:mod:`repro.analysis.summaries`):
+
+* ``acquired_closure(f)`` — every registered lock function ``f`` may
+  acquire, directly or through any resolvable call chain;
+* ``blocking_closure(f)`` — every blocking operation reachable from
+  ``f`` the same way;
+* the **edge set**: ``A -> B`` whenever some execution path acquires
+  ``B`` while holding ``A``.  Each edge carries a witness — the chain of
+  functions from the holder to the acquisition — so a finding can show
+  *how* the order arises, not just that it does.
+
+A cycle in the edge set is a potential deadlock (RPR009); a blocking
+operation reachable with a lock held is a stall hazard (RPR010/RPR011).
+Closures are computed by a worklist fixpoint with per-fact provenance
+(which call site imported the fact), which is what lets witness paths be
+reconstructed after the fact without storing whole paths during the
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.summaries import (
+    BlockingOp,
+    LockId,
+    ProjectIndex,
+)
+
+__all__ = ["LockEdge", "LockGraph", "ReachableBlock", "build_lock_graph"]
+
+
+@dataclass(frozen=True)
+class _Fact:
+    """How a closure fact entered a function: at ``line``, either
+    directly (``via is None``) or imported from callee ``via``."""
+
+    line: int
+    via: str | None
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``src`` held while ``dst`` is acquired, with one witness path."""
+
+    src: LockId
+    dst: LockId
+    path: str  #: report path of the function introducing the edge
+    line: int
+    chain: tuple[str, ...]  #: function quals, holder first
+
+    def describe(self) -> str:
+        route = " -> ".join(short_qual(q) for q in self.chain)
+        return f"{self.src} -> {self.dst} via {route} ({self.path}:{self.line})"
+
+
+def short_qual(qual: str) -> str:
+    """``repro.serving.service.QueryService.extend`` -> ``QueryService.extend``."""
+    parts = qual.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qual
+
+
+@dataclass(frozen=True)
+class ReachableBlock:
+    """A blocking op reachable from a function, with the lock context."""
+
+    op: BlockingOp
+    held: frozenset[LockId]
+    path: str
+    line: int  #: line in the *reporting* function (call site or the op)
+    chain: tuple[str, ...]
+
+
+@dataclass
+class LockGraph:
+    index: ProjectIndex
+    acquired: dict[str, dict[LockId, _Fact]] = field(default_factory=dict)
+    blocking: dict[str, dict[tuple[str, str], _Fact]] = field(default_factory=dict)
+    blocking_ops: dict[str, dict[tuple[str, str], BlockingOp]] = field(
+        default_factory=dict
+    )
+    edges: dict[tuple[LockId, LockId], LockEdge] = field(default_factory=dict)
+
+    # -- closures -------------------------------------------------------
+    def acquired_closure(self, qual: str) -> frozenset[LockId]:
+        return frozenset(self.acquired.get(qual, ()))
+
+    def blocking_closure(self, qual: str) -> list[BlockingOp]:
+        return list(self.blocking_ops.get(qual, {}).values())
+
+    # -- witness paths --------------------------------------------------
+    def acquisition_chain(self, qual: str, lock: LockId) -> tuple[str, ...]:
+        """Call chain from ``qual`` to the function acquiring ``lock``."""
+        chain = [qual]
+        seen = {qual}
+        current = qual
+        while True:
+            fact = self.acquired.get(current, {}).get(lock)
+            if fact is None or fact.via is None or fact.via in seen:
+                return tuple(chain)
+            current = fact.via
+            seen.add(current)
+            chain.append(current)
+
+    def blocking_chain(self, qual: str, key: tuple[str, str]) -> tuple[str, ...]:
+        chain = [qual]
+        seen = {qual}
+        current = qual
+        while True:
+            fact = self.blocking.get(current, {}).get(key)
+            if fact is None or fact.via is None or fact.via in seen:
+                return tuple(chain)
+            current = fact.via
+            seen.add(current)
+            chain.append(current)
+
+    # -- cycle detection ------------------------------------------------
+    def cycles(self) -> list[tuple[LockEdge, ...]]:
+        """Every elementary cycle of the edge set, as edge tuples.
+
+        The graph is tiny (one node per registered lock), so a simple
+        DFS enumeration with a canonical-form dedup is plenty.
+        """
+        adjacency: dict[LockId, list[LockId]] = {}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, []).append(dst)
+        cycles: dict[tuple[LockId, ...], tuple[LockEdge, ...]] = {}
+
+        def walk(start: LockId, node: LockId, trail: list[LockId]) -> None:
+            for nxt in adjacency.get(node, ()):
+                if nxt == start:
+                    cycle = tuple(trail)
+                    canon = _canonical(cycle)
+                    if canon not in cycles:
+                        edge_list = tuple(
+                            self.edges[(cycle[i], cycle[(i + 1) % len(cycle)])]
+                            for i in range(len(cycle))
+                        )
+                        cycles[canon] = edge_list
+                elif nxt not in trail and len(trail) <= 8:
+                    walk(start, nxt, trail + [nxt])
+
+        for node in sorted(adjacency):
+            walk(node, node, [node])
+        return [cycles[key] for key in sorted(cycles)]
+
+
+def _canonical(cycle: tuple[LockId, ...]) -> tuple[LockId, ...]:
+    """Rotation-invariant form of a cycle node sequence."""
+    pivot = min(range(len(cycle)), key=lambda i: cycle[i])
+    return cycle[pivot:] + cycle[:pivot]
+
+
+def build_lock_graph(index: ProjectIndex) -> LockGraph:
+    graph = LockGraph(index=index)
+    functions = index.functions
+
+    # Seed: direct facts.
+    for qual, summary in functions.items():
+        acquired = graph.acquired.setdefault(qual, {})
+        for acq in summary.acquisitions:
+            acquired.setdefault(acq.lock, _Fact(acq.line, None))
+        blocking = graph.blocking.setdefault(qual, {})
+        ops = graph.blocking_ops.setdefault(qual, {})
+        for op in summary.blocking:
+            key = (op.kind, op.desc)
+            blocking.setdefault(key, _Fact(op.line, None))
+            ops.setdefault(key, op)
+
+    # Fixpoint: propagate facts backwards along call sites.
+    changed = True
+    while changed:
+        changed = False
+        for qual, summary in functions.items():
+            acquired = graph.acquired[qual]
+            blocking = graph.blocking[qual]
+            ops = graph.blocking_ops[qual]
+            for call in summary.calls:
+                for target in call.targets:
+                    for lock in graph.acquired.get(target, {}):
+                        if lock not in acquired:
+                            acquired[lock] = _Fact(call.line, target)
+                            changed = True
+                    for key, op in graph.blocking_ops.get(target, {}).items():
+                        if key not in blocking:
+                            blocking[key] = _Fact(call.line, target)
+                            ops[key] = op
+                            changed = True
+
+    # Edges: direct nesting, then held call sites against callee closures.
+    def add_edge(
+        src: LockId, dst: LockId, path: str, line: int, chain: tuple[str, ...]
+    ) -> None:
+        graph.edges.setdefault(
+            (src, dst), LockEdge(src=src, dst=dst, path=path, line=line, chain=chain)
+        )
+
+    for qual, summary in functions.items():
+        for acq in summary.acquisitions:
+            for held in acq.held:
+                add_edge(held, acq.lock, summary.path, acq.line, (qual,))
+        for call in summary.calls:
+            if not call.held:
+                continue
+            for target in call.targets:
+                for lock in graph.acquired.get(target, {}):
+                    chain = (qual,) + graph.acquisition_chain(target, lock)
+                    for held in call.held:
+                        add_edge(held, lock, summary.path, call.line, chain)
+    return graph

@@ -1,0 +1,97 @@
+"""Multi-file analysis units for project-wide rules.
+
+A :class:`ProjectContext` is the whole-program counterpart of
+:class:`~repro.analysis.base.ModuleContext`: every parsed module of one
+lint run, keyed by dotted module name so cross-module references
+(``from repro.serving.cache import CountSeriesCache``) resolve to the
+defining module via the existing alias-aware :class:`ImportMap`.
+
+Module names derive from report paths by stripping a leading ``src/``
+and dotting the rest, which matches how the repository is imported
+(``PYTHONPATH=src``).  Paths outside a package layout (fixture tests,
+``benchmarks/``) still get a stable name — they simply are not
+importable from other modules, which is the correct behaviour for
+single-file fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.imports import ImportMap
+from repro.analysis.suppressions import scan_suppressions
+
+__all__ = ["ProjectContext", "build_project", "module_name_for"]
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a report path (``src/`` stripped)."""
+    posix = Path(path).as_posix()
+    for prefix in ("src/", "./src/"):
+        if posix.startswith(prefix):
+            posix = posix[len(prefix):]
+            break
+    if posix.endswith("/__init__.py"):
+        posix = posix[: -len("/__init__.py")]
+    elif posix.endswith(".py"):
+        posix = posix[: -len(".py")]
+    return posix.strip("/").replace("/", ".")
+
+
+@dataclass
+class ProjectContext:
+    """Every module of one lint run, addressable by dotted name."""
+
+    modules: dict[str, ModuleContext] = field(default_factory=dict)
+    #: Memo slot for the (expensive) per-run summary index; owned by
+    #: :func:`repro.analysis.summaries.project_index`.
+    _index_cache: object | None = field(default=None, repr=False, compare=False)
+
+    def add(self, ctx: ModuleContext) -> None:
+        self.modules[module_name_for(ctx.path)] = ctx
+        self._index_cache = None
+
+    def module_for_path(self, path: str) -> ModuleContext | None:
+        return self.modules.get(module_name_for(path))
+
+    @classmethod
+    def single(cls, ctx: ModuleContext) -> ProjectContext:
+        """A one-module project (what ``lint_source`` fixtures use)."""
+        project = cls()
+        project.add(ctx)
+        return project
+
+
+def build_project(files: list[Path], root: Path | None = None) -> ProjectContext:
+    """Parse ``files`` into a standalone :class:`ProjectContext`.
+
+    Used by witness mode, which needs the static lock graph outside a
+    lint run.  Unreadable or unparsable files are skipped — the lint
+    gate reports those separately.
+    """
+    root = root or Path.cwd()
+    project = ProjectContext()
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, UnicodeDecodeError, SyntaxError):
+            continue
+        try:
+            display = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = file.as_posix()
+        project.add(
+            ModuleContext(
+                path=display,
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+                imports=ImportMap.from_tree(tree),
+                suppressions=scan_suppressions(source),
+            )
+        )
+    return project

@@ -1,13 +1,22 @@
-"""Lint report rendering: human text and machine JSON."""
+"""Lint report rendering: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format GitHub code scanning ingests, so the CI
+lint job can upload the report and findings appear as inline PR
+annotations.  The emitter here is deliberately minimal — tool metadata,
+one rule entry per registered rule, one result per finding — and pure
+stdlib like the rest of the package.
+"""
 
 from __future__ import annotations
 
 import json
 from typing import IO
 
+from repro.analysis.base import Finding
 from repro.analysis.engine import Report
+from repro.analysis.rules import ALL_RULES
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 
 def render_text(report: Report, out: IO[str]) -> None:
@@ -26,4 +35,71 @@ def render_text(report: Report, out: IO[str]) -> None:
 def render_json(report: Report, out: IO[str]) -> None:
     """The full report as one JSON object."""
     json.dump(report.as_dict(), out, indent=2, sort_keys=True)
+    print(file=out)
+
+
+def _sarif_result(finding: Finding, *, suppressed: bool) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def render_sarif(report: Report, out: IO[str]) -> None:
+    """The report as a SARIF 2.1.0 log (one run, one tool).
+
+    Suppressed findings are included with an ``inSource`` suppression
+    marker so reviewers see the justified exceptions too; code-scanning
+    UIs hide them by default.
+    """
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.rationale},
+                            }
+                            for rule in ALL_RULES
+                        ],
+                    }
+                },
+                "results": [
+                    *(
+                        _sarif_result(finding, suppressed=False)
+                        for finding in report.findings
+                    ),
+                    *(
+                        _sarif_result(finding, suppressed=True)
+                        for finding in report.suppressed
+                    ),
+                ],
+            }
+        ],
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
     print(file=out)

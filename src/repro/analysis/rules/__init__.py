@@ -11,6 +11,11 @@ and document it in ``docs/static-analysis.md`` (the fixture tests in
 from __future__ import annotations
 
 from repro.analysis.base import Rule
+from repro.analysis.rules.concurrency import (
+    BlockingUnderLock,
+    EventLoopDiscipline,
+    LockOrderInversion,
+)
 from repro.analysis.rules.determinism import NoGlobalRng, NoUnseededRng
 from repro.analysis.rules.hygiene import ExecutorShutdown, MutableDefaultArgs
 from repro.analysis.rules.ledger import LedgerChargeDiscipline
@@ -29,6 +34,9 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MutableDefaultArgs,
     ExecutorShutdown,
     ProcessSafety,
+    LockOrderInversion,
+    BlockingUnderLock,
+    EventLoopDiscipline,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

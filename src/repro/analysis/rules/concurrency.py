@@ -1,0 +1,190 @@
+"""RPR009–RPR011: interprocedural concurrency rules.
+
+All three ride on the same whole-program artifacts — per-function lock
+summaries (:mod:`repro.analysis.summaries`) and the global
+lock-acquisition-order graph (:mod:`repro.analysis.lockgraph`):
+
+* **RPR009 lock-order-inversion** — a cycle in the acquisition-order
+  graph means two threads can each hold one lock of the cycle while
+  waiting for the next: a deadlock that no per-file rule can see.  The
+  finding quotes a witness path for every edge of the cycle.
+* **RPR010 blocking-under-lock** — a pipe send/recv, ``Future.result``,
+  queue op, sleep, subprocess, or file I/O reached (transitively) while
+  a registered lock is held turns that lock into a convoy: every other
+  thread needing it waits out the I/O.
+* **RPR011 event-loop-discipline** — the same blocking operations
+  reachable from an ``async def`` coroutine stall the entire event loop,
+  not just one thread.  Work routed through ``run_in_executor`` /
+  ``asyncio.to_thread`` / ``loop.add_reader`` is invisible to the call
+  graph by construction, so the blessed patterns need no annotations.
+
+Findings anchor at the acquisition or call site that introduces the
+hazard in the *reporting* function, so a ``# repro: noqa[...]`` with a
+written justification documents exactly the frame that accepts it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.base import Finding, ProjectRule
+from repro.analysis.lockgraph import LockGraph, short_qual, build_lock_graph
+from repro.analysis.summaries import project_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import ProjectContext
+
+__all__ = [
+    "BlockingUnderLock",
+    "EventLoopDiscipline",
+    "LockOrderInversion",
+    "lock_graph_for",
+]
+
+
+def lock_graph_for(project: "ProjectContext") -> LockGraph:
+    """The (memoized-per-index) lock graph of ``project``."""
+    index = project_index(project)
+    graph = getattr(index, "_lock_graph", None)
+    if graph is None:
+        graph = build_lock_graph(index)
+        index._lock_graph = graph  # type: ignore[attr-defined]
+    return graph
+
+
+def _dedup(findings: Iterator[Finding]) -> Iterator[Finding]:
+    seen: set[tuple[str, int, str]] = set()
+    for finding in findings:
+        key = (finding.path, finding.line, finding.message)
+        if key not in seen:
+            seen.add(key)
+            yield finding
+
+
+class LockOrderInversion(ProjectRule):
+    code = "RPR009"
+    name = "lock-order-inversion"
+    rationale = (
+        "the global lock-acquisition-order graph must be acyclic; a cycle "
+        "means two threads can deadlock holding one lock each"
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        graph = lock_graph_for(project)
+        yield from _dedup(self._findings(graph))
+
+    def _findings(self, graph: LockGraph) -> Iterator[Finding]:
+        for cycle in graph.cycles():
+            anchor = cycle[0]
+            witnesses = "; ".join(edge.describe() for edge in cycle)
+            nodes = " -> ".join(str(edge.src) for edge in cycle)
+            yield Finding(
+                path=anchor.path,
+                line=anchor.line,
+                col=1,
+                code=self.code,
+                message=(
+                    f"lock-order inversion {nodes} -> {cycle[0].src}: "
+                    f"{witnesses}"
+                ),
+            )
+
+
+class BlockingUnderLock(ProjectRule):
+    code = "RPR010"
+    name = "blocking-under-lock"
+    rationale = (
+        "no pipe/future/queue/sleep/subprocess/file-io operation may run — "
+        "even transitively — while a registered lock is held"
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        graph = lock_graph_for(project)
+        yield from _dedup(self._findings(graph))
+
+    def _findings(self, graph: LockGraph) -> Iterator[Finding]:
+        for qual, summary in graph.index.functions.items():
+            for op in summary.blocking:
+                if not op.held:
+                    continue
+                held = ", ".join(sorted(str(lock) for lock in op.held))
+                yield Finding(
+                    path=summary.path,
+                    line=op.line,
+                    col=1,
+                    code=self.code,
+                    message=(
+                        f"blocking call {op.desc} ({op.kind}) while "
+                        f"holding {held}"
+                    ),
+                )
+            for call in summary.calls:
+                if not call.held:
+                    continue
+                held = ", ".join(sorted(str(lock) for lock in call.held))
+                for target in call.targets:
+                    for key in graph.blocking.get(target, {}):
+                        op = graph.blocking_ops[target][key]
+                        chain = (qual,) + graph.blocking_chain(target, key)
+                        route = " -> ".join(short_qual(q) for q in chain)
+                        yield Finding(
+                            path=summary.path,
+                            line=call.line,
+                            col=1,
+                            code=self.code,
+                            message=(
+                                f"call {call.desc}() reaches blocking "
+                                f"{op.desc} ({op.kind}) via {route} while "
+                                f"holding {held}"
+                            ),
+                        )
+
+
+class EventLoopDiscipline(ProjectRule):
+    code = "RPR011"
+    name = "event-loop-discipline"
+    rationale = (
+        "async coroutines must not reach blocking operations except through "
+        "an executor or loop.add_reader"
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        graph = lock_graph_for(project)
+        yield from _dedup(self._findings(graph))
+
+    def _findings(self, graph: LockGraph) -> Iterator[Finding]:
+        for qual, summary in graph.index.functions.items():
+            if not summary.is_async:
+                continue
+            for op in summary.blocking:
+                yield Finding(
+                    path=summary.path,
+                    line=op.line,
+                    col=1,
+                    code=self.code,
+                    message=(
+                        f"blocking call {op.desc} ({op.kind}) inside "
+                        f"coroutine {short_qual(qual)}; route it through an "
+                        f"executor or loop.add_reader"
+                    ),
+                )
+            for call in summary.calls:
+                for target in call.targets:
+                    target_summary = graph.index.functions.get(target)
+                    if target_summary is None or target_summary.is_async:
+                        continue  # async callees are themselves checked
+                    for key in graph.blocking.get(target, {}):
+                        op = graph.blocking_ops[target][key]
+                        chain = (qual,) + graph.blocking_chain(target, key)
+                        route = " -> ".join(short_qual(q) for q in chain)
+                        yield Finding(
+                            path=summary.path,
+                            line=call.line,
+                            col=1,
+                            code=self.code,
+                            message=(
+                                f"coroutine {short_qual(qual)} reaches blocking "
+                                f"{op.desc} ({op.kind}) via {route}; route "
+                                f"it through an executor or loop.add_reader"
+                            ),
+                        )

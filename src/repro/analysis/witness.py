@@ -1,0 +1,340 @@
+"""Runtime lock-order witness: observe real acquisitions, check the model.
+
+The static analyzer (RPR009/RPR010) predicts a lock-acquisition-order
+graph from the AST.  Static models are unsound by construction — a call
+edge the type inference cannot resolve is silently dropped — so this
+module closes the loop at runtime:
+
+* :class:`WitnessSession` monkey-patches ``threading.Lock`` / ``RLock``
+  with thin wrappers that record, per thread, which *registered* lock
+  was acquired while which others were held;
+* locks are **named by creation site**: a patched constructor walks the
+  stack to the ``self._lock = threading.Lock()`` line and looks it up in
+  the static lock index, so ``CountSeriesCache._lock`` at runtime and in
+  the static graph are the same node.  Locks created anywhere else
+  (executor internals, conditions, test scaffolding) stay anonymous and
+  are never recorded;
+* after the run, :meth:`WitnessSession.check` cross-checks observed
+  edges against the static graph: an **observed edge the analyzer did
+  not predict fails the run** (the model has a hole), and static edges
+  never observed are reported as *untested* (coverage, not failure).
+
+The pytest hook lives in ``tests/conftest.py`` behind ``REPRO_WITNESS=1``
+and dumps its evidence as JSON (``REPRO_WITNESS_OUT``) for the CI gate
+``repro lint --witness-report FILE`` to re-verify.
+
+Like the rest of :mod:`repro.analysis` this file is pure stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Callable
+
+from repro.analysis.engine import iter_python_files
+from repro.analysis.lockgraph import LockGraph, build_lock_graph
+from repro.analysis.project import build_project
+from repro.analysis.summaries import project_index
+
+__all__ = [
+    "CrossCheck",
+    "LockWitness",
+    "WitnessSession",
+    "check_witness_report",
+    "cross_check",
+    "named_lock",
+]
+
+# The un-patched constructors: witness internals must never recurse
+# through the wrappers, and uninstall must restore the originals.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockWitness:
+    """Thread-safe registry of observed acquisition-order edges."""
+
+    def __init__(self) -> None:
+        self._registry_lock = _REAL_LOCK()
+        self._edges: dict[tuple[str, str], int] = {}
+        self._locks_seen: set[str] = set()
+        self._local = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def on_acquire(self, name: str | None) -> None:
+        if name is None:
+            return  # anonymous locks are invisible to the witness
+        stack = self._stack()
+        with self._registry_lock:
+            self._locks_seen.add(name)
+            for held in stack:
+                if held != name:  # re-entrant RLock holds are not edges
+                    key = (held, name)
+                    self._edges[key] = self._edges.get(key, 0) + 1
+        stack.append(name)
+
+    def on_release(self, name: str | None) -> None:
+        if name is None:
+            return
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def observed_edges(self) -> dict[tuple[str, str], int]:
+        with self._registry_lock:
+            return dict(self._edges)
+
+    def observed_locks(self) -> set[str]:
+        with self._registry_lock:
+            return set(self._locks_seen)
+
+
+class _WitnessLock:
+    """A ``threading.Lock``/``RLock`` that reports to a witness."""
+
+    def __init__(self, real, witness: LockWitness, name: str | None) -> None:
+        self._real = real
+        self._witness = witness
+        self.witness_name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._real.acquire(blocking, timeout)
+        if ok:
+            self._witness.on_acquire(self.witness_name)
+        return ok
+
+    def release(self) -> None:
+        self._witness.on_release(self.witness_name)
+        self._real.release()
+
+    def __enter__(self) -> "_WitnessLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __getattr__(self, attr: str):
+        # Condition and friends poke at lock internals
+        # (_acquire_restore, _is_owned, ...); delegate everything else.
+        return getattr(self._real, attr)
+
+
+def named_lock(name: str, witness: LockWitness) -> _WitnessLock:
+    """A named witness lock without global patching (for tests)."""
+    return _WitnessLock(_REAL_LOCK(), witness, name)
+
+
+# ---------------------------------------------------------------------------
+# cross-checking
+
+
+@dataclass
+class CrossCheck:
+    """Observed vs. static acquisition-order edges."""
+
+    #: observed at runtime but absent from the static graph — the
+    #: analyzer has a hole; this fails the run.
+    unexplained: list[tuple[str, str, int]]
+    #: observed and predicted: the static edge is runtime-confirmed.
+    validated: list[tuple[str, str, int]]
+    #: predicted but never observed: untested, reported for coverage.
+    untested: list[tuple[str, str]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unexplained
+
+
+def cross_check(
+    observed: dict[tuple[str, str], int], static_edges: set[tuple[str, str]]
+) -> CrossCheck:
+    unexplained = sorted(
+        (src, dst, count)
+        for (src, dst), count in observed.items()
+        if (src, dst) not in static_edges
+    )
+    validated = sorted(
+        (src, dst, count)
+        for (src, dst), count in observed.items()
+        if (src, dst) in static_edges
+    )
+    seen = {(src, dst) for (src, dst) in observed}
+    untested = sorted(edge for edge in static_edges if edge not in seen)
+    return CrossCheck(
+        unexplained=unexplained, validated=validated, untested=untested
+    )
+
+
+# ---------------------------------------------------------------------------
+# the session
+
+
+def _creation_site(skip_files: tuple[str, ...]) -> tuple[str, int] | None:
+    """(filename, line) of the frame that called ``threading.Lock()``."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in skip_files:
+            return (filename, frame.f_lineno)
+        frame = frame.f_back
+    return None  # pragma: no cover - interpreter-created thread
+
+
+class WitnessSession:
+    """Instrument every lock in the process; cross-check on exit.
+
+    ``root`` is the repository root; ``paths`` (relative to it) feed the
+    static analysis that both names runtime locks and supplies the edge
+    set to check against.
+    """
+
+    def __init__(self, root: Path | str = ".", paths: tuple[str, ...] = ("src",)):
+        self.root = Path(root).resolve()
+        files = iter_python_files([self.root / p for p in paths])
+        project = build_project(files, root=self.root)
+        index = project_index(project)
+        self.graph: LockGraph = build_lock_graph(index)
+        self.site_names: dict[tuple[str, int], str] = {}
+        for (relpath, line), lock in index.lock_sites.items():
+            abspath = str((self.root / relpath).resolve())
+            self.site_names[(abspath, line)] = str(lock)
+        self.static_edges: set[tuple[str, str]] = {
+            (str(src), str(dst)) for (src, dst) in self.graph.edges
+        }
+        self.witness = LockWitness()
+        self._installed = False
+
+    # -- patching -------------------------------------------------------
+    def _factory(self, real: Callable[[], object]) -> Callable[[], _WitnessLock]:
+        skip = (__file__, threading.__file__)
+        # co_filename may be relative depending on how the module was
+        # imported; site_names keys on resolved absolute paths.
+        resolved: dict[str, str] = {}
+
+        def make_lock() -> _WitnessLock:
+            site = _creation_site(skip)
+            name = None
+            if site is not None:
+                filename, line = site
+                abspath = resolved.get(filename)
+                if abspath is None:
+                    abspath = str(Path(filename).resolve())
+                    resolved[filename] = abspath
+                name = self.site_names.get((abspath, line))
+            return _WitnessLock(real(), self.witness, name)
+
+        return make_lock
+
+    def install(self) -> None:
+        if self._installed:  # pragma: no cover - defensive
+            return
+        threading.Lock = self._factory(_REAL_LOCK)  # type: ignore[assignment]
+        threading.RLock = self._factory(_REAL_RLOCK)  # type: ignore[assignment]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+        threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+        self._installed = False
+
+    def __enter__(self) -> "WitnessSession":
+        self.install()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.uninstall()
+
+    # -- evidence -------------------------------------------------------
+    def check(self) -> CrossCheck:
+        return cross_check(self.witness.observed_edges(), self.static_edges)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "observed_edges": [
+                {"src": src, "dst": dst, "count": count}
+                for (src, dst), count in sorted(
+                    self.witness.observed_edges().items()
+                )
+            ],
+            "observed_locks": sorted(self.witness.observed_locks()),
+            "static_edges": sorted(
+                [src, dst] for (src, dst) in self.static_edges
+            ),
+        }
+
+    def dump(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI entry (``repro lint --witness-report FILE``)
+
+
+def check_witness_report(
+    report: Path, paths: list[Path], out: IO[str]
+) -> int:
+    """Re-verify a witness dump against the static graph of ``paths``.
+
+    Exit status 1 when any observed edge is unexplained, or when the run
+    validated no static edge at all (a witness run that exercised
+    nothing proves nothing).
+    """
+    try:
+        data = json.loads(Path(report).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"cannot read witness report: {error}", file=out)
+        return 1
+    observed: dict[tuple[str, str], int] = {
+        (str(edge["src"]), str(edge["dst"])): int(edge.get("count", 1))
+        for edge in data.get("observed_edges", ())
+    }
+    src_paths = [p for p in paths if Path(p).exists()]
+    project = build_project(iter_python_files(src_paths), root=Path.cwd())
+    graph = build_lock_graph(project_index(project))
+    static_edges = {(str(src), str(dst)) for (src, dst) in graph.edges}
+    result = cross_check(observed, static_edges)
+    for src, dst, count in result.validated:
+        print(f"validated: {src} -> {dst} (observed x{count})", file=out)
+    for src, dst in result.untested:
+        print(f"untested:  {src} -> {dst} (static only)", file=out)
+    for src, dst, count in result.unexplained:
+        print(
+            f"UNEXPLAINED: {src} -> {dst} (observed x{count}, "
+            f"not in the static graph)",
+            file=out,
+        )
+    print(
+        f"{len(result.validated)} validated, {len(result.untested)} untested, "
+        f"{len(result.unexplained)} unexplained",
+        file=out,
+    )
+    if result.unexplained:
+        return 1
+    if not result.validated:
+        print(
+            "witness run validated no static edge — nothing was exercised",
+            file=out,
+        )
+        return 1
+    return 0

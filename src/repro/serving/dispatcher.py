@@ -172,7 +172,7 @@ class Dispatcher:
                 self._dispatched += 1
                 try:
                     response = await asyncio.wrap_future(
-                        client.request(request), loop=loop
+                        client.request(request), loop=loop  # repro: noqa[RPR011] bounded micro-batch frame onto a drained worker pipe; wrap_future then yields the loop until the worker answers
                     )
                 except Exception as exc:
                     self._settle_error(group, exc)

@@ -27,6 +27,7 @@ import traceback
 from concurrent.futures import Future
 from multiprocessing import get_context
 from multiprocessing.connection import Connection
+from multiprocessing.reduction import ForkingPickler
 from multiprocessing.context import SpawnProcess
 from typing import Any
 
@@ -403,9 +404,15 @@ class WorkerClient:
                 )
                 self._reader.start()
             self._pending[request_id] = future
+        # Pickle before taking the send lock: serialization may acquire
+        # payload locks (CostLedger.__getstate__ takes its ledger lock),
+        # and doing that under _send_lock adds a cross-object
+        # acquisition-order edge — the runtime witness caught exactly
+        # this when the pickling lived inside Connection.send below.
+        payload = ForkingPickler.dumps(message)
         try:
             with self._send_lock:
-                self._conn.send(message)
+                self._conn.send_bytes(payload)  # repro: noqa[RPR010] _send_lock exists to serialize exactly this pipe write; the frame is pre-pickled and the worker drains its end promptly
         except Exception:
             with self._pending_lock:
                 self._pending.pop(request_id, None)
@@ -420,7 +427,7 @@ class WorkerClient:
             self._closed = True
         try:
             with self._send_lock:
-                self._conn.send(Shutdown(request_id=request_id))
+                self._conn.send(Shutdown(request_id=request_id))  # repro: noqa[RPR010] last write on the pipe; the send lock is held only for the bounded shutdown frame
         except (OSError, ValueError):
             pass
         self._process.join(timeout=10.0)

@@ -335,7 +335,7 @@ class QueryService:
         with self._extend_lock:
             old_state = self._state
             old_linear = old_state.provider("linear")
-            self._pipeline.extend(new_frames, model=model)
+            self._pipeline.extend(new_frames, model=model)  # repro: noqa[RPR010] deliberate: _extend_lock serializes writers only; readers answer from the immutable pre-extension snapshot while the pipeline runs
             boundary = self._pipeline.last_extend_boundary
             assert boundary is not None
             providers = self._pipeline.providers

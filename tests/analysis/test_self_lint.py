@@ -29,10 +29,31 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 def test_repository_lints_clean():
     config = load_config(REPO_ROOT)
     report = lint_paths(
-        [REPO_ROOT / "src", REPO_ROOT / "benchmarks"], config=config
+        [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "tests"],
+        config=config,
     )
     assert report.findings == [], "\n".join(f.format() for f in report.findings)
     assert report.files >= 100
+
+
+def test_repository_lock_graph_is_acyclic_and_nonempty():
+    """The interprocedural layer sees the real lock hierarchy.
+
+    The acquisition-order graph over ``src`` must contain the known
+    spine (ingest -> extend -> leaf locks) and no cycle — RPR009 on the
+    tree as committed is vacuous unless the graph is actually populated.
+    """
+    from repro.analysis.engine import iter_python_files
+    from repro.analysis.lockgraph import build_lock_graph
+    from repro.analysis.project import build_project
+    from repro.analysis.summaries import project_index
+
+    project = build_project(iter_python_files([REPO_ROOT / "src"]), root=REPO_ROOT)
+    graph = build_lock_graph(project_index(project))
+    edges = {(str(src), str(dst)) for (src, dst) in graph.edges}
+    assert ("QueryService._extend_lock", "CostLedger._lock") in edges
+    assert ("StreamingCorpusService._ingest_lock", "QueryService._extend_lock") in edges
+    assert graph.cycles() == []
 
 
 def test_unlocking_a_guarded_access_is_caught():

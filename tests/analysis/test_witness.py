@@ -1,0 +1,207 @@
+"""The runtime lock witness: recording, naming, and the cross-check.
+
+The acceptance property of witness mode is two-sided:
+
+* a run that acquires locks in an order the static analyzer did not
+  predict must **fail** (here: a deliberate two-lock inversion);
+* a run over the real code must **validate** static edges — the pipe
+  between runtime names and static :class:`LockId` nodes actually
+  connects (creation-site attribution on real classes).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.witness import (
+    LockWitness,
+    WitnessSession,
+    check_witness_report,
+    cross_check,
+    named_lock,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# an edge the mp/streaming suites exercise constantly; pinned so a
+# refactor that renames either lock shows up here, not just in CI
+KNOWN_EDGE = ("QueryService._extend_lock", "CostLedger._lock")
+
+
+# ---------------------------------------------------------------------------
+# recording + cross-check (pure, no patching)
+
+
+def test_deliberate_inversion_fails_cross_check():
+    witness = LockWitness()
+    a = named_lock("A", witness)
+    b = named_lock("B", witness)
+    with a:
+        with b:
+            pass
+    with b:
+        with a:  # the inversion the static model (A -> B only) missed
+            pass
+    result = cross_check(witness.observed_edges(), {("A", "B")})
+    assert not result.ok
+    assert result.unexplained == [("B", "A", 1)]
+    assert result.validated == [("A", "B", 1)]
+
+
+def test_consistent_order_validates_and_reports_coverage():
+    witness = LockWitness()
+    a = named_lock("A", witness)
+    b = named_lock("B", witness)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    static = {("A", "B"), ("A", "C")}
+    result = cross_check(witness.observed_edges(), static)
+    assert result.ok
+    assert result.validated == [("A", "B", 3)]
+    assert result.untested == [("A", "C")]
+
+
+def test_anonymous_locks_are_invisible():
+    witness = LockWitness()
+    named = named_lock("A", witness)
+    anonymous = named_lock(None, witness)  # type: ignore[arg-type]
+    with anonymous:
+        with named:
+            pass
+    with named:
+        with anonymous:
+            pass
+    assert witness.observed_edges() == {}
+    assert witness.observed_locks() == {"A"}
+
+
+def test_reentrant_holds_are_not_edges():
+    witness = LockWitness()
+    witness.on_acquire("A")
+    witness.on_acquire("A")  # RLock re-entry
+    witness.on_release("A")
+    witness.on_release("A")
+    assert witness.observed_edges() == {}
+
+
+def test_threads_have_independent_hold_stacks():
+    witness = LockWitness()
+    a = named_lock("A", witness)
+    b = named_lock("B", witness)
+
+    def other():
+        with b:
+            pass
+
+    with a:
+        worker = threading.Thread(target=other)
+        worker.start()
+        worker.join()
+    # B was held in another thread while this one held A: no edge
+    assert witness.observed_edges() == {}
+
+
+# ---------------------------------------------------------------------------
+# the session: static graph + creation-site naming on real classes
+
+
+@pytest.fixture(scope="module")
+def session() -> WitnessSession:
+    return WitnessSession(root=REPO_ROOT, paths=("src",))
+
+
+def test_static_graph_contains_known_edges(session):
+    assert KNOWN_EDGE in session.static_edges
+    assert ("StreamingCorpusService._ingest_lock", "DetectionStore._lock") in (
+        session.static_edges
+    )
+
+
+def test_creation_site_naming_attributes_real_locks(session):
+    from repro.utils.timing import CostLedger
+
+    with session:
+        ledger = CostLedger()
+    assert ledger._lock.witness_name == "CostLedger._lock"
+    # and the patch is gone: new locks are plain again
+    assert not hasattr(threading.Lock(), "witness_name")
+
+
+def test_session_cross_check_validates_against_real_graph(session):
+    """Acquisitions in the statically-predicted order validate the edge;
+    the reverse order is flagged as unexplained by the same session."""
+    src_name, dst_name = KNOWN_EDGE
+    src = named_lock(src_name, session.witness)
+    dst = named_lock(dst_name, session.witness)
+    with src:
+        with dst:
+            pass
+    result = session.check()
+    assert result.ok
+    assert KNOWN_EDGE in {(a, b) for a, b, _ in result.validated}
+
+    with dst:
+        with src:
+            pass
+    result = session.check()
+    assert not result.ok
+    assert (dst_name, src_name) in {(a, b) for a, b, _ in result.unexplained}
+
+
+# ---------------------------------------------------------------------------
+# the CI gate: repro lint --witness-report
+
+
+def _report_file(tmp_path, edges) -> Path:
+    path = tmp_path / "witness.json"
+    path.write_text(
+        json.dumps(
+            {
+                "observed_edges": [
+                    {"src": src, "dst": dst, "count": count}
+                    for src, dst, count in edges
+                ]
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+def test_witness_report_gate_passes_on_validated_edge(tmp_path):
+    out = io.StringIO()
+    path = _report_file(tmp_path, [(*KNOWN_EDGE, 4)])
+    assert check_witness_report(path, [REPO_ROOT / "src"], out=out) == 0
+    text = out.getvalue()
+    assert "1 validated" in text
+    assert "0 unexplained" in text
+
+
+def test_witness_report_gate_fails_on_unexplained_edge(tmp_path):
+    out = io.StringIO()
+    path = _report_file(
+        tmp_path, [(*KNOWN_EDGE, 4), ("CostLedger._lock", "DetectionStore._lock", 1)]
+    )
+    assert check_witness_report(path, [REPO_ROOT / "src"], out=out) == 1
+    assert "UNEXPLAINED: CostLedger._lock -> DetectionStore._lock" in out.getvalue()
+
+
+def test_witness_report_gate_fails_when_nothing_validated(tmp_path):
+    out = io.StringIO()
+    path = _report_file(tmp_path, [])
+    assert check_witness_report(path, [REPO_ROOT / "src"], out=out) == 1
+    assert "validated no static edge" in out.getvalue()
+
+
+def test_witness_report_gate_fails_on_missing_file(tmp_path):
+    out = io.StringIO()
+    missing = tmp_path / "nope.json"
+    assert check_witness_report(missing, [REPO_ROOT / "src"], out=out) == 1
+    assert "cannot read witness report" in out.getvalue()

@@ -7,6 +7,9 @@ the suite fast.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.core import MASTConfig
@@ -48,3 +51,36 @@ def exact_detector():
 def config():
     """Default MAST config with a fixed seed."""
     return MASTConfig(seed=11)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_witness():
+    """Runtime lock-order witness, armed by ``REPRO_WITNESS=1``.
+
+    Instruments every ``threading.Lock``/``RLock`` created during the
+    session and, at teardown, cross-checks the observed acquisition
+    order against the static graph of ``repro.analysis``: any edge the
+    analyzer failed to predict fails the run.  The evidence is dumped
+    to ``REPRO_WITNESS_OUT`` (default ``witness.json``) so CI can gate
+    on ``repro lint --witness-report``.
+    """
+    if os.environ.get("REPRO_WITNESS") != "1":
+        yield None
+        return
+    from repro.analysis.witness import WitnessSession
+
+    root = Path(__file__).resolve().parent.parent
+    session = WitnessSession(root=root, paths=("src",))
+    with session:
+        yield session
+    out = os.environ.get("REPRO_WITNESS_OUT", "witness.json")
+    session.dump(out)
+    result = session.check()
+    if result.unexplained:
+        edges = "; ".join(
+            f"{src} -> {dst} (x{count})" for src, dst, count in result.unexplained
+        )
+        raise RuntimeError(
+            f"lock witness observed acquisition-order edges the static "
+            f"analyzer did not predict: {edges}"
+        )

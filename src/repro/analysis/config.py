@@ -32,9 +32,9 @@ __all__ = ["DEFAULT_PER_DIRECTORY", "LintConfig", "load_config"]
 #: * ``models`` implement detection, so their internal ``self.detect``
 #:   delegation is not a ledger bypass (RPR004).
 #: * ``inference`` *is* the blessed detection path (RPR004).
-#: * ``corpus`` and ``streaming`` are registered with no disables: both
-#:   layers obey every invariant and their growth stays under the full
-#:   rule set.
+#: * ``corpus``, ``streaming`` and ``spatial`` are registered with no
+#:   disables: these layers obey every invariant and their growth stays
+#:   under the full rule set.
 #: * ``tests`` run under a relaxed profile: stress suites time out on
 #:   wall-clock deadlines (RPR002), fixtures draw throwaway seeds
 #:   (RPR005), and unit tests exercise detectors directly (RPR004);
@@ -47,6 +47,7 @@ DEFAULT_PER_DIRECTORY: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("src/repro/inference", ("RPR004",)),
     ("src/repro/corpus", ()),
     ("src/repro/streaming", ()),
+    ("src/repro/spatial", ()),
     ("tests", ("RPR002", "RPR005", "RPR004")),
 )
 

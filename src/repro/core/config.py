@@ -75,6 +75,15 @@ class MASTConfig:
     #: size but *not* on the executor, so any wave size is bit-identical
     #: across serial / thread / process execution.
     wave_size: int = 1
+    #: Build the BEV spatial tile index at ingest (:mod:`repro.spatial`)
+    #: so spatially filtered count series prune whole tiles.  Answers
+    #: are bit-identical with or without it; the knob only trades index
+    #: build time for query time.
+    spatial_index: bool = True
+    #: Maximum indexed objects per spatial tile before it splits.
+    spatial_leaf_capacity: int = 512
+    #: Maximum spatial quadtree depth.
+    spatial_max_depth: int = 10
 
     def __post_init__(self) -> None:
         require_fraction(self.budget_fraction, "budget_fraction")
@@ -108,6 +117,14 @@ class MASTConfig:
         )
         require(self.workers >= 0, f"workers must be >= 0, got {self.workers}")
         require(self.wave_size >= 1, f"wave_size must be >= 1, got {self.wave_size}")
+        require(
+            self.spatial_leaf_capacity >= 1,
+            f"spatial_leaf_capacity must be >= 1, got {self.spatial_leaf_capacity}",
+        )
+        require(
+            self.spatial_max_depth >= 1,
+            f"spatial_max_depth must be >= 1, got {self.spatial_max_depth}",
+        )
 
     # ------------------------------------------------------------------
     def budget_for(self, n_frames: int) -> int:

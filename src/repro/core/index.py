@@ -10,6 +10,11 @@ repeated computation".
 Internally the per-object rows of all frames are flattened into parallel
 columns (frame index, label, distance-to-sensor, confidence), so a count
 series for any object filter is one vectorized mask + ``bincount``.
+When the config enables it, the rows are additionally organized by a
+BEV :class:`~repro.spatial.SpatialTileIndex`, and spatially filtered
+count series route through it — pruning tiles outside the predicate and
+answering fully covered tiles from per-tile count summaries, with
+bit-identical results.
 
 Two :class:`~repro.query.engine.CountProvider` implementations sit on
 top:
@@ -65,6 +70,7 @@ class MASTIndex:
         scores: np.ndarray,
         estimates: dict[tuple[int, int], MotionEstimate],
         detections: dict[int, ObjectArray],
+        spatial_index=None,
     ) -> None:
         self.n_frames = int(n_frames)
         self.timestamps = np.asarray(timestamps, dtype=float)
@@ -75,6 +81,9 @@ class MASTIndex:
         self._scores = scores
         self._estimates = estimates
         self._detections = detections
+        #: Optional :class:`~repro.spatial.SpatialTileIndex` over the
+        #: flat columns; spatial count series route through it.
+        self.spatial_index = spatial_index
         self._count_cache: dict[ObjectFilter, np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -87,12 +96,20 @@ class MASTIndex:
         config: MASTConfig | None = None,
         *,
         ledger: CostLedger | None = None,
+        previous: MASTIndex | None = None,
+        boundary: int | None = None,
     ) -> MASTIndex:
         """Run Alg. 3 over a sampling result.
 
         For every gap between consecutive sampled frames the ST-PC motion
         estimate predicts the object set of each interior frame; sampled
         frames contribute their raw detections.
+
+        ``previous``/``boundary`` (the pipeline's extend path) hand over
+        the prior index and its invalidation boundary so the spatial tile
+        index updates incrementally — keeping its split geometry and the
+        count-summary entries for frames ``<= boundary`` — instead of
+        rebuilding from scratch.
         """
         config = config or MASTConfig()
         ledger = ledger if ledger is not None else result.ledger
@@ -157,6 +174,31 @@ class MASTIndex:
             positions = np.zeros((0, 2))
             scores = np.zeros(0)
 
+        spatial_index = None
+        if config.spatial_index:
+            from repro.spatial import SpatialTileIndex
+
+            prior = previous.spatial_index if previous is not None else None
+            if prior is not None and boundary is not None:
+                spatial_index = prior.updated(
+                    frame_index,
+                    labels,
+                    positions,
+                    scores,
+                    result.n_frames,
+                    boundary=boundary,
+                )
+            else:
+                spatial_index = SpatialTileIndex(
+                    frame_index,
+                    labels,
+                    positions,
+                    scores,
+                    result.n_frames,
+                    leaf_capacity=config.spatial_leaf_capacity,
+                    max_depth=config.spatial_max_depth,
+                )
+
         return cls(
             n_frames=result.n_frames,
             timestamps=timestamps,
@@ -167,24 +209,34 @@ class MASTIndex:
             scores=scores,
             estimates=estimates,
             detections=result.detections,
+            spatial_index=spatial_index,
         )
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def count_series(self, object_filter: ObjectFilter) -> np.ndarray:
-        """Per-frame counts of indexed objects matching ``object_filter``."""
+        """Per-frame counts of indexed objects matching ``object_filter``.
+
+        Spatially filtered series route through the tile index when one
+        was built (bit-identical; tiles outside the predicate are
+        pruned).  Label-only / confidence-only filters stay on the flat
+        vectorized scan — no tile can be excluded without geometry.
+        """
         cached = self._count_cache.get(object_filter)
         if cached is not None:
             return cached
-        mask = self._scores >= object_filter.confidence
-        if object_filter.label is not None:
-            mask &= self._labels == object_filter.label
-        if object_filter.spatial is not None:
-            mask &= object_filter.spatial.mask_positions(self._positions)
-        counts = np.bincount(
-            self._frame_index[mask], minlength=self.n_frames
-        ).astype(float)
+        if object_filter.spatial is not None and self.spatial_index is not None:
+            counts = self.spatial_index.count_series(object_filter)
+        else:
+            mask = self._scores >= object_filter.confidence
+            if object_filter.label is not None:
+                mask &= self._labels == object_filter.label
+            if object_filter.spatial is not None:
+                mask &= object_filter.spatial.mask_positions(self._positions)
+            counts = np.bincount(
+                self._frame_index[mask], minlength=self.n_frames
+            ).astype(float)
         self._count_cache[object_filter] = counts
         return counts
 
@@ -209,6 +261,18 @@ class MASTIndex:
             label_masks: dict[str, np.ndarray] = {}
             distances: np.ndarray | None = None
             for object_filter in missing:
+                # Region-shaped filters gain more from tile pruning than
+                # from the shared-mask batching; plain distance cuts keep
+                # the shared-distance fast path below.
+                if (
+                    object_filter.spatial is not None
+                    and not isinstance(object_filter.spatial, SpatialPredicate)
+                    and self.spatial_index is not None
+                ):
+                    self._count_cache[object_filter] = (
+                        self.spatial_index.count_series(object_filter)
+                    )
+                    continue
                 mask = conf_masks.get(object_filter.confidence)
                 if mask is None:
                     mask = self._scores >= object_filter.confidence
@@ -264,6 +328,12 @@ class MASTIndex:
     def clear_count_cache(self) -> None:
         """Drop all memoized count series (benchmark cold-start helper)."""
         self._count_cache.clear()
+
+    def spatial_stats(self) -> dict[str, float] | None:
+        """Tile-pruning counters of the spatial index (None if disabled)."""
+        if self.spatial_index is None:
+            return None
+        return self.spatial_index.stats_snapshot()
 
     def objects_at(self, frame_id: int) -> ObjectArray:
         """The indexed object set of one frame (real or ST-predicted)."""

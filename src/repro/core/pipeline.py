@@ -221,12 +221,23 @@ class MASTPipeline:
                 "noncanonical_ids": tuple(sorted(noncanonical)),
             },
         )
-        self._rebuild_index()
+        self._rebuild_index(incremental=True)
         return self
 
-    def _rebuild_index(self) -> None:
+    def _rebuild_index(self, *, incremental: bool = False) -> None:
         assert self._sampling is not None
-        self._index = MASTIndex.build(self._sampling, self.config, ledger=self.ledger)
+        # On the extend path the prior index and its invalidation
+        # boundary are handed over so the spatial tile index keeps its
+        # split geometry and pre-boundary count summaries.
+        previous = self._index if incremental else None
+        boundary = self.last_extend_boundary if incremental else None
+        self._index = MASTIndex.build(
+            self._sampling,
+            self.config,
+            ledger=self.ledger,
+            previous=previous,
+            boundary=boundary,
+        )
         st_provider = STCountProvider(self._index)
         linear_provider = LinearCountProvider(self._sampling)
         self._providers = {
@@ -371,6 +382,12 @@ class MASTPipeline:
             f"index     : {len(self._index.sampled_ids)} sampled frames, "
             f"{self._index.n_indexed_objects} indexed objects"
         )
+        spatial = self._index.spatial_index
+        if spatial is not None:
+            lines.append(
+                f"spatial   : {spatial.n_leaves} leaf tiles over "
+                f"{spatial.n_rows} rows (version {spatial.version})"
+            )
         return "\n".join(lines)
 
     @property

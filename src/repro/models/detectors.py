@@ -106,25 +106,37 @@ class SimulatedDetector(DetectionModel):
         return self._num_parameters
 
 
-def pv_rcnn(seed: int = 0) -> SimulatedDetector:
-    """The paper's default oracle model (noise profile of PV-RCNN [38])."""
+def _resolve(profile: NoiseProfile, sensor_range: float | None) -> NoiseProfile:
+    if sensor_range is None:
+        return profile
+    return profile.scaled_to_range(sensor_range)
+
+
+def pv_rcnn(seed: int = 0, *, sensor_range: float | None = None) -> SimulatedDetector:
+    """The paper's default oracle model (noise profile of PV-RCNN [38]).
+
+    ``sensor_range`` rescales the recall falloff to a non-vehicle sensor
+    (see :meth:`~repro.models.noise.NoiseProfile.scaled_to_range`);
+    required for the 300 m city-scale worlds, where the stock 75 m
+    profile would suppress everything past ~120 m.
+    """
     return SimulatedDetector(
-        "pv_rcnn", PROFILE_PV_RCNN, cost_per_frame=0.10, seed=seed,
-        num_parameters=13_000_000,
+        "pv_rcnn", _resolve(PROFILE_PV_RCNN, sensor_range),
+        cost_per_frame=0.10, seed=seed, num_parameters=13_000_000,
     )
 
 
-def point_rcnn(seed: int = 0) -> SimulatedDetector:
+def point_rcnn(seed: int = 0, *, sensor_range: float | None = None) -> SimulatedDetector:
     """Oracle variant with the noise profile of PointRCNN [39]."""
     return SimulatedDetector(
-        "point_rcnn", PROFILE_POINT_RCNN, cost_per_frame=0.09, seed=seed,
-        num_parameters=4_000_000,
+        "point_rcnn", _resolve(PROFILE_POINT_RCNN, sensor_range),
+        cost_per_frame=0.09, seed=seed, num_parameters=4_000_000,
     )
 
 
-def second(seed: int = 0) -> SimulatedDetector:
+def second(seed: int = 0, *, sensor_range: float | None = None) -> SimulatedDetector:
     """Oracle variant with the noise profile of SECOND [47]."""
     return SimulatedDetector(
-        "second", PROFILE_SECOND, cost_per_frame=0.05, seed=seed,
-        num_parameters=5_300_000,
+        "second", _resolve(PROFILE_SECOND, sensor_range),
+        cost_per_frame=0.05, seed=seed, num_parameters=5_300_000,
     )

@@ -12,7 +12,7 @@ fewer but high-confidence objects).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -70,6 +70,26 @@ class NoiseProfile:
         require_fraction(self.score_threshold, "score_threshold", inclusive=True)
 
     # ------------------------------------------------------------------
+    def scaled_to_range(self, sensor_range: float) -> NoiseProfile:
+        """This profile rescaled to a sensor of the given range.
+
+        The stock profiles are calibrated against 75 m vehicle sensors;
+        on a wide-area sensor (e.g. the 300 m city worlds) the recall
+        falloff would otherwise suppress everything past ~120 m.
+        Scaling ``falloff_start``/``falloff_scale`` with the range keeps
+        the recall-vs-normalized-distance curve — and with it the
+        score model and false-positive placement, which already divide
+        by ``sensor_range`` — identical across sensor sizes.
+        """
+        require_non_negative(sensor_range, "sensor_range")
+        factor = sensor_range / self.sensor_range
+        return replace(
+            self,
+            falloff_start=self.falloff_start * factor,
+            falloff_scale=self.falloff_scale * factor,
+            sensor_range=sensor_range,
+        )
+
     def recall_at(self, distances: np.ndarray) -> np.ndarray:
         """Detection probability for objects at the given distances."""
         distances = np.asarray(distances, dtype=float)

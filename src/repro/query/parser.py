@@ -28,6 +28,22 @@ Extensions beyond the paper's templates:
 
       SELECT FRAMES WHERE COUNT(Car DIST <= 20 SECTOR -45 45) >= 2
 
+* the canonical-tile clause ``TILE <path>`` (quadrant digits 0-3
+  descending from the fixed root grid of :mod:`repro.spatial.tiles`)::
+
+      SELECT FRAMES WHERE COUNT(Car TILE 0231) >= 2
+
+* a spatial scope that conjoins one region onto *every* object filter
+  in the query — the surface syntax the spatial index accelerates::
+
+      SELECT FRAMES WHERE COUNT(Car) >= 3 WITHIN TILE 02
+      SELECT MED OF COUNT(*) WITHIN REGION (-50, -50, 50, 50)
+
+  ``WITHIN ...`` desugars at parse time (the resulting query objects
+  carry ordinary spatial filters, so ``describe()`` shows the conjoined
+  form); when combined with a sequence scope, ``WITHIN`` comes first:
+  ``... WITHIN TILE 02 IN SEQUENCE city-00``.
+
 * compound retrieval conditions with ``AND`` / ``OR`` (``AND`` binds
   tighter), the paper's future-work "join queries"::
 
@@ -68,7 +84,10 @@ from repro.query.predicates import (
 )
 from repro.query.spatial import (
     AllOf,
+    RegionPredicate,
+    TilePredicate,
     build_spatial_operator,
+    conjoin_spatial,
     is_spatial_operator,
     spatial_operator_arg_count,
 )
@@ -83,9 +102,10 @@ class QuerySyntaxError(ValueError):
 _TOKEN_RE = re.compile(
     r"""
     (?P<STRING>'[^']*'|"[^"]*")
-  | (?P<NUMBER>-?\d+(\.\d+)?)
+  | (?P<NUMBER>-?\d+(\.\d+)?([eE][+-]?\d+)?)
   | (?P<CMP><=|>=|<|>)
   | (?P<DASH>-)
+  | (?P<COMMA>,)
   | (?P<LPAREN>\()
   | (?P<RPAREN>\))
   | (?P<STAR>\*)
@@ -188,6 +208,7 @@ class _Parser:
                 query = CompoundRetrievalQuery(condition)
         else:
             query = self._aggregate()
+        query = _apply_spatial_scope(query, self._within_scope())
         scope = self._sequence_scope() if allow_scope else None
         if self._peek() is not None:
             trailing = self._peek()
@@ -196,6 +217,46 @@ class _Parser:
                 f"at position {trailing.position}"
             )
         return query, scope
+
+    # ------------------------------------------------------------------
+    # Spatial scope: ``WITHIN TILE <path>`` / ``WITHIN REGION (...)``.
+    # ------------------------------------------------------------------
+    def _within_scope(self):
+        if not self._match_keyword("WITHIN"):
+            return None
+        if self._match_keyword("TILE"):
+            return self._tile_predicate()
+        self._expect_keyword("REGION")
+        self._expect_kind("LPAREN", "'('")
+        coordinates = [self._number()]
+        for _ in range(3):
+            token = self._peek()
+            if token is not None and token.kind == "COMMA":
+                self.position += 1
+            coordinates.append(self._number())
+        self._expect_kind("RPAREN", "')'")
+        try:
+            return RegionPredicate(*coordinates)
+        except ValueError as error:
+            raise QuerySyntaxError(str(error)) from error
+
+    def _tile_predicate(self) -> TilePredicate:
+        """A canonical tile path, read from the raw token text.
+
+        Paths are digit strings, so they tokenize as NUMBER — but they
+        must *not* go through ``float`` (leading zeros are quadrant
+        digits: ``float("0231")`` would destroy the path).
+        """
+        token = self._expect_kind("NUMBER", "a tile path")
+        try:
+            return TilePredicate(token.text)
+        except ValueError as error:
+            raise QuerySyntaxError(
+                f"{error} (at position {token.position})"
+            ) from error
+
+    def _number(self) -> float:
+        return float(self._expect_kind("NUMBER", "a number").text)
 
     # ------------------------------------------------------------------
     # Corpus scope: ``IN SEQUENCE <name>`` / ``IN ALL SEQUENCES``.
@@ -331,6 +392,8 @@ class _Parser:
                 spatial_filters.append(SpatialPredicate(op, threshold))
             elif self._match_keyword("CONF"):
                 confidence = float(self._expect_kind("NUMBER", "a number").text)
+            elif self._match_keyword("TILE"):
+                spatial_filters.append(self._tile_predicate())
             elif self._peek_spatial_operator() is not None:
                 keyword = self._next().text.upper()
                 n_args = spatial_operator_arg_count(keyword)
@@ -362,6 +425,48 @@ class _Parser:
         ):
             return token.text.upper()
         return None
+
+
+def _apply_spatial_scope(query, region):
+    """Conjoin a ``WITHIN ...`` region onto every object filter of a query."""
+    if region is None:
+        return query
+    if isinstance(query, RetrievalQuery):
+        return RetrievalQuery(
+            _scope_object_filter(query.object_filter, region), query.count_predicate
+        )
+    if isinstance(query, CompoundRetrievalQuery):
+        return CompoundRetrievalQuery(_scope_condition(query.condition, region))
+    assert isinstance(query, AggregateQuery)
+    return AggregateQuery(
+        _scope_object_filter(query.object_filter, region),
+        query.operator,
+        query.count_predicate,
+    )
+
+
+def _scope_object_filter(object_filter: ObjectFilter, region) -> ObjectFilter:
+    return ObjectFilter(
+        label=object_filter.label,
+        spatial=conjoin_spatial(object_filter.spatial, region),
+        confidence=object_filter.confidence,
+    )
+
+
+def _scope_condition(condition, region):
+    if isinstance(condition, Condition):
+        return Condition(
+            _scope_object_filter(condition.object_filter, region),
+            condition.count_predicate,
+        )
+    if isinstance(condition, ConditionAnd):
+        return ConditionAnd(
+            tuple(_scope_condition(child, region) for child in condition.children)
+        )
+    assert isinstance(condition, ConditionOr)
+    return ConditionOr(
+        tuple(_scope_condition(child, region) for child in condition.children)
+    )
 
 
 def _resolve_operator(text: str) -> str | None:

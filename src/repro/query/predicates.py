@@ -60,7 +60,9 @@ class SpatialPredicate:
     The paper's spatial predicate.  Like the extended filters in
     :mod:`repro.query.spatial`, it also implements ``mask_positions``
     over sensor-frame xy positions, so all spatial filters share one
-    evaluation protocol.
+    evaluation protocol — plus the tile-classification protocol
+    (``tile_bounds_overlap`` / ``tile_bounds_contained``) the
+    :mod:`repro.spatial` index uses to prune whole tiles.
     """
 
     op: str
@@ -81,8 +83,38 @@ class SpatialPredicate:
         positions = np.asarray(positions, dtype=float)
         return self.mask(np.hypot(positions[:, 0], positions[:, 1]))
 
+    # -- tile classification (see repro.spatial) -----------------------
+    def tile_bounds_overlap(self, bounds) -> bool:
+        """Could any point inside ``bounds`` satisfy this predicate?"""
+        low, high = _box_distance_range(bounds)
+        if self.op in ("<=", "<"):
+            return bool(compare(np.array([low]), self.op, self.threshold)[0])
+        return bool(compare(np.array([high]), self.op, self.threshold)[0])
+
+    def tile_bounds_contained(self, bounds) -> bool:
+        """Does every point inside ``bounds`` satisfy this predicate?"""
+        low, high = _box_distance_range(bounds)
+        if self.op in ("<=", "<"):
+            return bool(compare(np.array([high]), self.op, self.threshold)[0])
+        return bool(compare(np.array([low]), self.op, self.threshold)[0])
+
     def describe(self) -> str:
         return f"dist {self.op} {self.threshold:g}"
+
+
+def _box_distance_range(bounds) -> tuple[float, float]:
+    """(min, max) distance from the origin over a closed axis-aligned box.
+
+    ``bounds`` is anything with ``x_min/y_min/x_max/y_max`` attributes
+    (the tile-extent protocol of :mod:`repro.spatial.tiles`).
+    """
+    closest_x = min(max(0.0, bounds.x_min), bounds.x_max)
+    closest_y = min(max(0.0, bounds.y_min), bounds.y_max)
+    low = float(np.hypot(closest_x, closest_y))
+    farthest_x = max(abs(bounds.x_min), abs(bounds.x_max))
+    farthest_y = max(abs(bounds.y_min), abs(bounds.y_max))
+    high = float(np.hypot(farthest_x, farthest_y))
+    return low, high
 
 
 @dataclass(frozen=True)

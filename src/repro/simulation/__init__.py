@@ -2,11 +2,13 @@
 
 from repro.simulation.actors import ALL_LABELS, DEFAULT_ACTOR_TYPES, ActorTypeSpec
 from repro.simulation.datasets import (
+    CITY_LENGTHS,
     ONCE_LENGTHS,
     SEMANTICKITTI_LENGTHS,
     SYNLIDAR_LENGTH,
     DatasetSpec,
     build_sequence,
+    city_like,
     dataset_spec,
     once_like,
     semantickitti_like,
@@ -26,6 +28,7 @@ from repro.simulation.world import GROUND_Z, TrafficWorld, WorldConfig
 
 __all__ = [
     "ALL_LABELS",
+    "CITY_LENGTHS",
     "DEFAULT_ACTOR_TYPES",
     "ActorTypeSpec",
     "DatasetSpec",
@@ -40,6 +43,7 @@ __all__ = [
     "TrafficWorld",
     "WorldConfig",
     "build_sequence",
+    "city_like",
     "dataset_spec",
     "empty_road_scenario",
     "highway_scenario",

@@ -28,9 +28,11 @@ __all__ = [
     "SEMANTICKITTI_LENGTHS",
     "ONCE_LENGTHS",
     "SYNLIDAR_LENGTH",
+    "CITY_LENGTHS",
     "semantickitti_like",
     "once_like",
     "synlidar_like",
+    "city_like",
     "build_sequence",
 ]
 
@@ -40,6 +42,9 @@ SEMANTICKITTI_LENGTHS: tuple[int, ...] = (4541, 4661, 4071, 4981, 3281)
 ONCE_LENGTHS: tuple[int, ...] = (2741, 3862, 2983, 4638, 5264)
 #: Frame count of the single SynLiDAR sequence (Tbl 3 / Fig 8).
 SYNLIDAR_LENGTH: int = 45076
+#: Frame counts of the synthetic city-scale sequences (no paper analog —
+#: the wide-area regime the spatial tile index targets).
+CITY_LENGTHS: tuple[int, ...] = (3600, 2800)
 
 
 @dataclass(frozen=True)
@@ -116,10 +121,42 @@ def _synlidar_spec() -> DatasetSpec:
     )
 
 
+def _city_spec() -> DatasetSpec:
+    # City-scale worlds: an infrastructure-style wide-area sensor (300 m
+    # range, 16x the BEV area of the 75 m vehicle sensors) watching dense
+    # downtown traffic.  The spawn process sustains ~1,000 concurrent
+    # actors (spawn rate x mean lifetime) against the ~20-40 of the
+    # vehicle-scale worlds — the 10-100x regime where spatially scoped
+    # queries touch a small fraction of the indexed boxes and tile
+    # pruning pays for itself.
+    world = WorldConfig(
+        sensor_range=300.0,
+        spawn_radius=(10.0, 280.0),
+        base_spawn_rate=24.0,
+        intensity_period=90.0,
+        mean_lifetime=45.0,
+        ego_speed_mean=7.0,
+        ego_speed_amplitude=3.0,
+        initial_actors=900,
+        burst_rate=0.08,
+        burst_size=(10, 24),
+        roadside_fraction=0.15,
+    )
+    return DatasetSpec(
+        name="city",
+        fps=10.0,
+        lengths=CITY_LENGTHS,
+        world=world,
+        lidar=LidarConfig(sensor_range=300.0),
+        base_seed=4404,
+    )
+
+
 _SPECS = {
     "semantickitti": _kitti_spec,
     "once": _once_spec,
     "synlidar": _synlidar_spec,
+    "city": _city_spec,
 }
 
 
@@ -211,6 +248,21 @@ def once_like(
 def synlidar_like(*, length_scale: float = 1.0, **kwargs) -> FrameSequence:
     """The paper's single long SynLiDAR sequence (10 FPS, 45,076 frames)."""
     return build_sequence(_synlidar_spec(), 0, length_scale=length_scale, **kwargs)
+
+
+def city_like(
+    sequence_index: int = 0, *, length_scale: float = 1.0, **kwargs
+) -> FrameSequence:
+    """A city-scale wide-area sequence (300 m sensor, ~1,000 live actors).
+
+    10-100x the actor count and BEV area of the vehicle-scale factories;
+    the regime :mod:`repro.spatial` tile pruning is built for.  Pass
+    ``with_points=False`` for sampling/query experiments — at this
+    density point providers are pure overhead.
+    """
+    return build_sequence(
+        _city_spec(), sequence_index, length_scale=length_scale, **kwargs
+    )
 
 
 def dataset_spec(name: str) -> DatasetSpec:

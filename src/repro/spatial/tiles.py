@@ -1,0 +1,126 @@
+"""BEV tile geometry: bounds, the canonical tile grid, and tile paths.
+
+The spatial hierarchy (:mod:`repro.spatial.index`) partitions the
+bird's-eye-view plane into axis-aligned tiles.  Two kinds of tiles
+coexist:
+
+* **index tiles** — the quadtree the :class:`~repro.spatial.SpatialTileIndex`
+  builds over the *data* (split geometry adapted to where the boxes
+  actually are, Massive-PotreeConverter style);
+* **canonical tiles** — a fixed, data-independent quadtree over
+  :data:`CANONICAL_ROOT`, addressed by *paths* of quadrant digits.  The
+  query language's ``TILE <path>`` / ``WITHIN TILE <path>`` syntax
+  names canonical tiles, so a tile name means the same region for every
+  sequence, every corpus, and every epoch of a streaming service.
+
+Quadrant digits: ``0`` = south-west, ``1`` = south-east, ``2`` =
+north-west, ``3`` = north-east (``digit = (x >= cx) + 2 * (y >= cy)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TileBounds",
+    "CANONICAL_ROOT",
+    "WORLD_HALF_EXTENT",
+    "MAX_TILE_DEPTH",
+    "tile_path_bounds",
+    "validate_tile_path",
+]
+
+#: Half-extent (meters) of the canonical root tile.  Chosen to cover
+#: the largest city-scale worlds the simulator produces (100x the area
+#: of a 75 m sensor range is a ~750 m radius) with ample margin.
+WORLD_HALF_EXTENT: float = 4096.0
+
+#: Maximum canonical tile-path depth accepted by the query language.
+MAX_TILE_DEPTH: int = 24
+
+
+@dataclass(frozen=True)
+class TileBounds:
+    """A closed axis-aligned box on the BEV plane.
+
+    This is the ``bounds`` argument of the tile-classification protocol
+    (``tile_bounds_overlap`` / ``tile_bounds_contained`` in
+    :mod:`repro.query.spatial`): any object with these four attributes
+    participates.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if not (self.x_max >= self.x_min and self.y_max >= self.y_min):
+            raise ValueError(
+                f"bounds must be non-empty, got x=[{self.x_min}, {self.x_max}] "
+                f"y=[{self.y_min}, {self.y_max}]"
+            )
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (
+            0.5 * (self.x_min + self.x_max),
+            0.5 * (self.y_min + self.y_max),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    def quadrant(self, digit: int) -> TileBounds:
+        """The child tile named by one quadrant digit (0-3)."""
+        if digit not in (0, 1, 2, 3):
+            raise ValueError(f"quadrant digit must be 0-3, got {digit}")
+        center_x, center_y = self.center
+        x_min = self.x_min if digit % 2 == 0 else center_x
+        x_max = center_x if digit % 2 == 0 else self.x_max
+        y_min = self.y_min if digit < 2 else center_y
+        y_max = center_y if digit < 2 else self.y_max
+        return TileBounds(x_min, y_min, x_max, y_max)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    def describe(self) -> str:
+        return (
+            f"[{self.x_min:g}, {self.x_max:g}] x [{self.y_min:g}, {self.y_max:g}]"
+        )
+
+
+#: Root of the canonical tile grid (``TILE <path>`` addresses).
+CANONICAL_ROOT = TileBounds(
+    -WORLD_HALF_EXTENT, -WORLD_HALF_EXTENT, WORLD_HALF_EXTENT, WORLD_HALF_EXTENT
+)
+
+
+def validate_tile_path(path: str) -> str:
+    """Check a canonical tile path (digits 0-3, bounded depth)."""
+    if not isinstance(path, str) or not path:
+        raise ValueError("tile path must be a non-empty string of digits 0-3")
+    if any(digit not in "0123" for digit in path):
+        raise ValueError(
+            f"tile path may only contain quadrant digits 0-3, got {path!r}"
+        )
+    if len(path) > MAX_TILE_DEPTH:
+        raise ValueError(
+            f"tile path deeper than {MAX_TILE_DEPTH} levels: {path!r}"
+        )
+    return path
+
+
+def tile_path_bounds(path: str) -> TileBounds:
+    """Resolve a canonical tile path to its bounds (pure function)."""
+    validate_tile_path(path)
+    bounds = CANONICAL_ROOT
+    for digit in path:
+        bounds = bounds.quadrant(int(digit))
+    return bounds

@@ -1,0 +1,281 @@
+"""Unit tests for the BEV quadtree tile index (:mod:`repro.spatial`).
+
+The load-bearing property — tiled evaluation is *bit-identical* to the
+brute-force scan — is pinned here on deterministic fixtures (and
+explored on random instances in ``tests/property``), alongside the
+structural invariants that make it true: the leaves partition the rows,
+classification is sound, and incremental updates preserve both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query.predicates import DEFAULT_CONFIDENCE, ObjectFilter
+from repro.query.spatial import (
+    AllOf,
+    RegionPredicate,
+    SectorPredicate,
+    TilePredicate,
+)
+from repro.spatial import (
+    CANONICAL_ROOT,
+    MAX_TILE_DEPTH,
+    SpatialTileIndex,
+    TileBounds,
+    tile_path_bounds,
+    validate_tile_path,
+)
+
+LABELS = np.array(["Car", "Pedestrian", "Cyclist"])
+
+
+def make_columns(n=600, n_frames=40, seed=7, spread=80.0):
+    rng = np.random.default_rng(seed)
+    frame_index = np.sort(rng.integers(0, n_frames, n)).astype(np.int64)
+    labels = LABELS[rng.integers(0, len(LABELS), n)]
+    positions = rng.uniform(-spread, spread, (n, 2))
+    scores = rng.uniform(0.05, 1.0, n)
+    return frame_index, labels, positions, scores, n_frames
+
+
+def brute_force(columns, object_filter):
+    """The flat scan the index must reproduce bit-for-bit."""
+    frame_index, labels, positions, scores, n_frames = columns
+    mask = scores >= object_filter.confidence
+    if object_filter.label is not None:
+        mask = mask & (labels == object_filter.label)
+    if object_filter.spatial is not None:
+        mask = mask & object_filter.spatial.mask_positions(positions)
+    return np.bincount(frame_index[mask], minlength=n_frames).astype(float)
+
+
+FILTERS = [
+    ObjectFilter("Car", RegionPredicate(-20, -20, 20, 20)),
+    ObjectFilter(None, RegionPredicate(10, -60, 70, 5)),
+    ObjectFilter("Pedestrian", SectorPredicate(-45, 45)),
+    ObjectFilter("Car", SectorPredicate(150, 390)),  # wraparound, span > 180
+    ObjectFilter("Cyclist", TilePredicate("0")),
+    ObjectFilter(
+        "Car",
+        AllOf((RegionPredicate(-50, -50, 50, 50), SectorPredicate(0, 180))),
+    ),
+    ObjectFilter("Car", RegionPredicate(-20, -20, 20, 20), confidence=0.8),
+    ObjectFilter(None, RegionPredicate(-1000, -1000, 1000, 1000)),
+    ObjectFilter("Car", RegionPredicate(500, 500, 600, 600)),  # empty
+]
+
+
+def build(columns, **kwargs):
+    return SpatialTileIndex(*columns, **kwargs)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("object_filter", FILTERS, ids=lambda f: f.describe())
+    def test_matches_brute_force(self, object_filter):
+        columns = make_columns()
+        index = build(columns, leaf_capacity=32, max_depth=6)
+        assert np.array_equal(
+            index.count_series(object_filter), brute_force(columns, object_filter)
+        )
+
+    @pytest.mark.parametrize("leaf_capacity,max_depth", [(1, 12), (8, 3), (10_000, 4)])
+    def test_matches_across_tree_shapes(self, leaf_capacity, max_depth):
+        columns = make_columns(n=300)
+        index = build(columns, leaf_capacity=leaf_capacity, max_depth=max_depth)
+        for object_filter in FILTERS:
+            assert np.array_equal(
+                index.count_series(object_filter),
+                brute_force(columns, object_filter),
+            )
+
+    def test_empty_index(self):
+        columns = make_columns(n=0, n_frames=5)
+        index = build(columns)
+        counts = index.count_series(FILTERS[0])
+        assert counts.shape == (5,) and not counts.any()
+
+    def test_requires_spatial_filter(self):
+        index = build(make_columns(n=50))
+        with pytest.raises(ValueError, match="spatial"):
+            index.count_series(ObjectFilter("Car"))
+
+
+class TestStructure:
+    def test_leaves_partition_rows(self):
+        columns = make_columns()
+        index = build(columns, leaf_capacity=16, max_depth=8)
+        spans = [
+            (node.start, node.end) for node in index._nodes if node.is_leaf
+        ]
+        covered = np.concatenate(
+            [index._order[start:end] for start, end in spans]
+        )
+        assert sorted(covered.tolist()) == list(range(len(columns[0])))
+        assert index.n_leaves == len(spans)
+
+    def test_leaf_extents_are_tight(self):
+        columns = make_columns()
+        positions = columns[2]
+        index = build(columns, leaf_capacity=16)
+        for node in index._nodes:
+            if not node.is_leaf or node.n_rows == 0:
+                continue
+            rows = index._order[node.start : node.end]
+            assert node.extent is not None
+            assert node.extent.x_min == positions[rows, 0].min()
+            assert node.extent.y_max == positions[rows, 1].max()
+
+    def test_validation(self):
+        columns = make_columns(n=10)
+        with pytest.raises(ValueError, match="leaf_capacity"):
+            build(columns, leaf_capacity=0)
+        with pytest.raises(ValueError, match="max_depth"):
+            build(columns, max_depth=0)
+
+
+class TestPruningStats:
+    def test_disjoint_region_prunes_everything(self):
+        index = build(make_columns(), leaf_capacity=16)
+        index.count_series(ObjectFilter("Car", RegionPredicate(900, 900, 950, 950)))
+        snapshot = index.stats.snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["tile_prune_rate"] == 1.0
+        assert snapshot["rows_scanned"] == 0
+
+    def test_world_region_answers_from_summaries(self):
+        columns = make_columns()
+        index = build(columns, leaf_capacity=16)
+        world = ObjectFilter("Car", RegionPredicate(-1e6, -1e6, 1e6, 1e6))
+        assert np.array_equal(
+            index.count_series(world), brute_force(columns, world)
+        )
+        snapshot = index.stats.snapshot()
+        assert snapshot["rows_scanned"] == 0
+        assert snapshot["rows_summarized"] == len(columns[0])
+        assert snapshot["row_scan_fraction"] == 0.0
+
+    def test_non_summary_confidence_stays_exact_without_geometry(self):
+        columns = make_columns()
+        index = build(columns, leaf_capacity=16)
+        world = ObjectFilter(
+            "Car", RegionPredicate(-1e6, -1e6, 1e6, 1e6), confidence=0.75
+        )
+        assert np.array_equal(
+            index.count_series(world), brute_force(columns, world)
+        )
+        snapshot = index.stats.snapshot()
+        # Contained tiles re-mask by label/score only; no position scans.
+        assert snapshot["rows_scanned"] == 0
+        assert snapshot["rows_summarized"] == 0
+
+    def test_reset(self):
+        index = build(make_columns())
+        index.count_series(FILTERS[0])
+        index.reset_stats()
+        assert index.stats.queries == 0
+
+    def test_snapshot_includes_structure(self):
+        index = build(make_columns())
+        snapshot = index.stats_snapshot()
+        assert snapshot["n_rows"] == index.n_rows
+        assert snapshot["n_leaves"] == index.n_leaves
+        assert snapshot["version"] == 0
+
+
+def extend_columns(columns, extra_n, extra_frames, seed=99):
+    """Append rows for new frames past the current maximum (extend shape)."""
+    frame_index, labels, positions, scores, n_frames = columns
+    rng = np.random.default_rng(seed)
+    new_frames = np.sort(
+        rng.integers(n_frames, n_frames + extra_frames, extra_n)
+    ).astype(np.int64)
+    return (
+        np.concatenate([frame_index, new_frames]),
+        np.concatenate([labels, LABELS[rng.integers(0, len(LABELS), extra_n)]]),
+        np.vstack([positions, rng.uniform(-150.0, 150.0, (extra_n, 2))]),
+        np.concatenate([scores, rng.uniform(0.05, 1.0, extra_n)]),
+        n_frames + extra_frames,
+    )
+
+
+class TestIncrementalUpdate:
+    def test_updated_matches_brute_force(self):
+        columns = make_columns()
+        index = build(columns, leaf_capacity=32)
+        grown = extend_columns(columns, extra_n=250, extra_frames=15)
+        successor = index.updated(*grown, boundary=columns[4] - 1)
+        assert successor.version == 1
+        for object_filter in FILTERS:
+            assert np.array_equal(
+                successor.count_series(object_filter),
+                brute_force(grown, object_filter),
+            )
+
+    def test_updated_keeps_split_geometry(self):
+        columns = make_columns()
+        index = build(columns, leaf_capacity=32)
+        grown = extend_columns(columns, extra_n=100, extra_frames=5)
+        successor = index.updated(*grown, boundary=columns[4] - 1)
+        assert [n.center for n in successor._nodes] == [
+            n.center for n in index._nodes
+        ]
+
+    def test_growth_triggers_structural_rebuild(self):
+        columns = make_columns(n=100)
+        index = build(columns, leaf_capacity=8)
+        grown = extend_columns(columns, extra_n=1000, extra_frames=40)
+        successor = index.updated(*grown, boundary=columns[4] - 1)
+        assert successor.version == 1  # epoch still advances
+        assert successor._rows_at_build == len(grown[0])  # fresh structure
+        for object_filter in FILTERS:
+            assert np.array_equal(
+                successor.count_series(object_filter),
+                brute_force(grown, object_filter),
+            )
+
+    def test_chained_updates(self):
+        columns = make_columns(n=200)
+        index = build(columns, leaf_capacity=32)
+        for step in range(3):
+            boundary = columns[4] - 1
+            columns = extend_columns(
+                columns, extra_n=60, extra_frames=4, seed=50 + step
+            )
+            index = index.updated(*columns, boundary=boundary)
+            assert index.version == step + 1
+        for object_filter in FILTERS:
+            assert np.array_equal(
+                index.count_series(object_filter),
+                brute_force(columns, object_filter),
+            )
+
+
+class TestTileGrid:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            tile_path_bounds("")
+
+    def test_quadrant_digits(self):
+        south_west = tile_path_bounds("0")
+        north_east = tile_path_bounds("3")
+        assert south_west.x_max == CANONICAL_ROOT.center[0]
+        assert south_west.y_max == CANONICAL_ROOT.center[1]
+        assert north_east.x_min == CANONICAL_ROOT.center[0]
+        assert north_east.y_min == CANONICAL_ROOT.center[1]
+
+    def test_leading_zeros_distinct(self):
+        assert tile_path_bounds("00") != tile_path_bounds("0")
+        assert tile_path_bounds("003") != tile_path_bounds("03")
+
+    def test_validate_rejects_bad_paths(self):
+        with pytest.raises(ValueError):
+            validate_tile_path("0a1")
+        with pytest.raises(ValueError):
+            validate_tile_path("4")
+        with pytest.raises(ValueError):
+            validate_tile_path("0" * (MAX_TILE_DEPTH + 1))
+
+    def test_bounds_contains_point(self):
+        bounds = TileBounds(0.0, 0.0, 10.0, 10.0)
+        assert bounds.contains_point(0.0, 10.0)  # closed box
+        assert not bounds.contains_point(10.1, 5.0)

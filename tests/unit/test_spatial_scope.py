@@ -1,0 +1,271 @@
+"""Tile-classification protocol + ``WITHIN`` scope + describe round-trips.
+
+Three things live here:
+
+* the per-predicate ``tile_bounds_overlap`` / ``tile_bounds_contained``
+  protocol the quadtree prunes with (soundness spot-checks: a claimed
+  classification must agree with exhaustive ``mask_positions`` over the
+  tile);
+* the parser's ``WITHIN TILE <path>`` / ``WITHIN REGION (...)`` query
+  scope, which desugars into a conjoined spatial filter on every object
+  filter of the query;
+* ``describe()`` -> re-parse round-trips, including the
+  scientific-notation pins (the tokenizer once rejected ``1e+06``, so
+  ``RegionPredicate(-1e6, ...).describe()`` was unparseable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    AllOf,
+    ObjectFilter,
+    QuerySyntaxError,
+    RegionPredicate,
+    SectorPredicate,
+    SpatialPredicate,
+    TilePredicate,
+    conjoin_spatial,
+    filter_tile_contained,
+    filter_tile_overlap,
+    parse_query,
+    parse_scoped_query,
+)
+from repro.spatial import TileBounds, tile_path_bounds
+
+
+def classification_is_sound(spatial, bounds, n=400, seed=3):
+    """Protocol answers must agree with dense sampling of the tile."""
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [
+            rng.uniform(bounds.x_min, bounds.x_max, n),
+            rng.uniform(bounds.y_min, bounds.y_max, n),
+        ]
+    )
+    inside = spatial.mask_positions(points)
+    if not filter_tile_overlap(spatial, bounds):
+        assert not inside.any(), "pruned tile contains matching points"
+    if filter_tile_contained(spatial, bounds):
+        assert inside.all(), "contained tile has non-matching points"
+
+
+class TestRegionProtocol:
+    def test_overlap_and_containment(self):
+        region = RegionPredicate(0, 0, 10, 10)
+        assert region.tile_bounds_overlap(TileBounds(5, 5, 15, 15))
+        assert not region.tile_bounds_overlap(TileBounds(11, 0, 20, 10))
+        assert region.tile_bounds_contained(TileBounds(2, 2, 8, 8))
+        assert not region.tile_bounds_contained(TileBounds(2, 2, 12, 8))
+
+    def test_touching_edges_overlap(self):
+        # Closed boxes: sharing an edge is an overlap, and a tile equal
+        # to the region is contained.
+        region = RegionPredicate(0, 0, 10, 10)
+        assert region.tile_bounds_overlap(TileBounds(10, 0, 20, 10))
+        assert region.tile_bounds_contained(TileBounds(0, 0, 10, 10))
+
+
+class TestDistanceProtocol:
+    @pytest.mark.parametrize(
+        "bounds",
+        [
+            TileBounds(3, 4, 6, 8),
+            TileBounds(-2, -2, 2, 2),  # straddles the origin
+            TileBounds(50, 50, 60, 60),
+            TileBounds(-1, 5, 1, 7),  # nearest point on an edge
+        ],
+    )
+    @pytest.mark.parametrize("spatial", [
+        SpatialPredicate("<=", 7.0),
+        SpatialPredicate(">=", 7.0),
+        SpatialPredicate("<", 60.0),
+        SpatialPredicate(">", 3.0),
+    ], ids=lambda s: s.describe())
+    def test_soundness(self, spatial, bounds):
+        classification_is_sound(spatial, bounds)
+
+
+class TestSectorProtocol:
+    @pytest.mark.parametrize(
+        "bounds",
+        [
+            TileBounds(5, 5, 15, 15),
+            TileBounds(-15, -15, -5, -5),
+            TileBounds(-3, -3, 3, 3),  # contains the origin
+            TileBounds(10, -1, 20, 1),  # straddles the +x axis
+        ],
+    )
+    @pytest.mark.parametrize("spatial", [
+        SectorPredicate(-45, 45),
+        SectorPredicate(0, 180),
+        SectorPredicate(135, 225),   # crosses the +-180 cut
+        SectorPredicate(150, 390),   # reflex span > 180
+        SectorPredicate(0, 360),     # full circle
+    ], ids=lambda s: s.describe())
+    def test_soundness(self, spatial, bounds):
+        classification_is_sound(spatial, bounds)
+
+    def test_full_circle_contains_everything(self):
+        sector = SectorPredicate(0, 360)
+        assert sector.tile_bounds_contained(TileBounds(-9e5, -9e5, 9e5, 9e5))
+
+
+class TestTilePredicate:
+    def test_matches_canonical_bounds(self):
+        tile = TilePredicate("03")
+        bounds = tile_path_bounds("03")
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-5000, 5000, (500, 2))
+        expected = np.array(
+            [bounds.contains_point(x, y) for x, y in points]
+        )
+        assert np.array_equal(tile.mask_positions(points), expected)
+
+    def test_protocol_delegates_to_region(self):
+        tile = TilePredicate("0")
+        bounds = tile_path_bounds("0")
+        assert tile.tile_bounds_contained(
+            TileBounds(bounds.x_min, bounds.y_min, bounds.center[0], bounds.center[1])
+        )
+        assert not tile.tile_bounds_overlap(TileBounds(1, 1, 2, 2))  # NE of center
+
+    def test_invalid_path_rejected(self):
+        with pytest.raises(ValueError):
+            TilePredicate("9")
+
+
+class TestProtocolDefaults:
+    def test_unknown_filters_never_prune(self):
+        class Opaque:
+            def mask_positions(self, positions):
+                return np.ones(len(positions), dtype=bool)
+
+        bounds = TileBounds(0, 0, 1, 1)
+        assert filter_tile_overlap(Opaque(), bounds) is True
+        assert filter_tile_contained(Opaque(), bounds) is False
+
+    def test_allof_is_conservative_conjunction(self):
+        both = AllOf((RegionPredicate(0, 0, 10, 10), SectorPredicate(0, 90)))
+        assert both.tile_bounds_contained(TileBounds(2, 2, 8, 8))
+        assert not both.tile_bounds_overlap(TileBounds(20, 20, 30, 30))
+        classification_is_sound(both, TileBounds(0, 0, 12, 12))
+
+
+class TestConjoinSpatial:
+    def test_none_passthrough(self):
+        region = RegionPredicate(0, 0, 1, 1)
+        assert conjoin_spatial(None, region) is region
+
+    def test_pairs_into_allof(self):
+        a, b = SectorPredicate(0, 90), RegionPredicate(0, 0, 1, 1)
+        assert conjoin_spatial(a, b) == AllOf((a, b))
+
+    def test_flattens_existing_allof(self):
+        a, b, c = (
+            SectorPredicate(0, 90),
+            RegionPredicate(0, 0, 1, 1),
+            TilePredicate("2"),
+        )
+        assert conjoin_spatial(AllOf((a, b)), c) == AllOf((a, b, c))
+
+
+class TestWithinScope:
+    def test_within_region_desugars_to_conjoined_region(self):
+        scoped = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 2 WITHIN REGION (-10, -5, 30, 5)"
+        )
+        inline = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car REGION -10 -5 30 5) >= 2"
+        )
+        assert scoped == inline
+
+    def test_within_tile_keeps_leading_zeros(self):
+        query = parse_query("SELECT MED OF COUNT(*) WITHIN TILE 003")
+        assert query.object_filter.spatial == TilePredicate("003")
+
+    def test_within_conjoins_onto_existing_spatial(self):
+        query = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car DIST <= 40) >= 1 "
+            "WITHIN REGION (0, 0, 50, 50)"
+        )
+        spatial = query.object_filter.spatial
+        assert isinstance(spatial, AllOf)
+        assert spatial.filters[-1] == RegionPredicate(0, 0, 50, 50)
+
+    def test_within_reaches_every_compound_branch(self):
+        query = parse_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 2 AND COUNT(Pedestrian) >= 1 "
+            "WITHIN TILE 1"
+        )
+        for condition in query.leaf_conditions():
+            assert condition.object_filter.spatial == TilePredicate("1")
+
+    def test_within_region_commas_optional(self):
+        with_commas = parse_query(
+            "SELECT AVG OF COUNT(Car) WITHIN REGION (-1, -2, 3, 4)"
+        )
+        without = parse_query(
+            "SELECT AVG OF COUNT(Car) WITHIN REGION (-1 -2 3 4)"
+        )
+        assert with_commas == without
+
+    def test_within_composes_with_sequence_scope(self):
+        scoped = parse_scoped_query(
+            "SELECT FRAMES WHERE COUNT(Car) >= 1 "
+            "WITHIN REGION (0, 0, 9, 9) IN SEQUENCE drive"
+        )
+        assert scoped.sequence == "drive"
+        assert scoped.query.object_filter.spatial == RegionPredicate(0, 0, 9, 9)
+
+    def test_bad_tile_path_is_syntax_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1 WITHIN TILE 7")
+
+    def test_region_requires_four_numbers(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT FRAMES WHERE COUNT(Car) >= 1 WITHIN REGION (1, 2, 3)")
+
+
+class TestDescribeRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT FRAMES WHERE COUNT(Car REGION -10 -5 30 5) >= 2",
+            "SELECT FRAMES WHERE COUNT(Car REGION -1e+06 -2.5e-05 1e+06 300000) >= 1",
+            "SELECT MED OF COUNT(* SECTOR 150 390)",
+            "SELECT AVG OF COUNT(Car TILE 003)",
+            "SELECT FRAMES WHERE COUNT(Car DIST <= 20 SECTOR -45 45 "
+            "REGION -50 -50 50 50) >= 2",
+            "SELECT FRAMES WHERE COUNT(Car) >= 2 WITHIN REGION (-10, -5, 30, 5)",
+            "SELECT MED OF COUNT(Pedestrian) WITHIN TILE 21",
+        ],
+    )
+    def test_parse_describe_parse(self, text):
+        query = parse_query(text)
+        assert parse_query(query.describe()) == query
+
+    def test_scientific_notation_predicates_reparse(self):
+        # The regression satellite: describe() of extreme-but-legal
+        # predicates must tokenize (exponents in NUMBER).
+        region = RegionPredicate(-1e6, -2.5e-05, 1e6, 3e5)
+        query = parse_query(
+            f"SELECT FRAMES WHERE COUNT(Car {region.describe().upper()}) >= 1"
+        )
+        assert parse_query(query.describe()) == query
+        assert query.object_filter.spatial == region
+
+    def test_sector_scientific_notation_reparse(self):
+        sector = SectorPredicate(-1e-3, 2e2)
+        query = parse_query(
+            f"SELECT MED OF COUNT(* {sector.describe().upper()})"
+        )
+        assert parse_query(query.describe()) == query
+        assert query.object_filter.spatial == sector
+
+    def test_filter_describe_matches_parsed_form(self):
+        object_filter = ObjectFilter(
+            "Car", AllOf((SpatialPredicate("<=", 1.5e4), TilePredicate("30")))
+        )
+        text = f"SELECT FRAMES WHERE COUNT({object_filter.describe().upper()}) >= 1"
+        assert parse_query(parse_query(text).describe()) == parse_query(text)

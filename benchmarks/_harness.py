@@ -16,6 +16,8 @@ combination — e.g. Tables 3, 4 and 5 — compute it once.
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
 from pathlib import Path
 
 import numpy as np
@@ -121,6 +123,41 @@ def get_experiment(
 
 #: Seeds used by benches that average the sampling policy's randomness.
 POLICY_SEEDS = (SEED, SEED + 1, SEED + 2)
+
+
+def _git_sha() -> str | None:
+    """Commit SHA of the working tree, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_manifest() -> dict:
+    """Provenance stamped into every ``BENCH_*.json`` payload.
+
+    Records exactly what is needed to reproduce (or refuse to compare)
+    a bench artifact: the seeds and scale the run was configured with,
+    the commit it ran at, and the interpreter/numpy versions.  Benches
+    merge it under a ``"manifest"`` key; consumers comparing two
+    payloads should compare manifests first.
+    """
+    return {
+        "seed": SEED,
+        "model_seed": MODEL_SEED,
+        "bench_scale": SCALE,
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
 
 def emit(name: str, text: str) -> None:

@@ -14,6 +14,11 @@ Two claims of the corpus layer on a heterogeneous three-sequence corpus
    to per-query :meth:`~repro.corpus.CorpusPipeline.query` calls; the
    bench records the throughput of both paths.
 
+The allocation comparison runs on the :mod:`repro.flow` DAG runner (the
+same graph ``repro flow run corpus`` executes) and is differentially
+pinned bit-identical to the legacy monolithic
+:func:`~repro.evalx.run_corpus_experiment` path on every run.
+
 Writes machine-readable ``BENCH_corpus.json`` at the repository root so
 CI can gate on the allocation comparison.  ``--smoke`` shrinks the
 corpus for fast CI runs (the assertions still hold).
@@ -24,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -36,7 +42,13 @@ from repro.corpus import (
     SequenceCatalog,
     SequenceSpec,
 )
-from repro.evalx import run_corpus_experiment
+from repro.evalx import (
+    CorpusFlowSpec,
+    corpus_digest,
+    corpus_flow,
+    run_corpus_experiment,
+)
+from repro.flow import FlowRunner
 from repro.models import pv_rcnn
 from repro.query.workload import generate_workload
 
@@ -69,36 +81,61 @@ VOLATILE_WORLD = (
 )
 
 
+def corpus_sequences(*, smoke: bool):
+    """The heterogeneous bench corpus as flow-spec tuples."""
+    long_n, short_n = (160, 120) if smoke else (360, 240)
+    return (
+        ("semantickitti", 0, long_n, "static-drive", STATIC_WORLD),
+        ("semantickitti", 1, long_n, "volatile-drive", VOLATILE_WORLD),
+        ("once", 0, short_n, "sparse-urban", ()),
+    )
+
+
 def build_catalog(*, smoke: bool) -> SequenceCatalog:
     """The heterogeneous bench corpus (deterministic)."""
-    long_n, short_n = (160, 120) if smoke else (360, 240)
     catalog = SequenceCatalog()
-    catalog.register(
-        SequenceSpec(
-            "semantickitti", 0, n_frames=long_n,
-            name="static-drive", world_overrides=STATIC_WORLD,
+    for dataset, index, n_frames, name, overrides in corpus_sequences(smoke=smoke):
+        catalog.register(
+            SequenceSpec(
+                dataset, index, n_frames=n_frames,
+                name=name, world_overrides=overrides,
+            )
         )
-    )
-    catalog.register(
-        SequenceSpec(
-            "semantickitti", 1, n_frames=long_n,
-            name="volatile-drive", world_overrides=VOLATILE_WORLD,
-        )
-    )
-    catalog.register(SequenceSpec("once", 0, n_frames=short_n, name="sparse-urban"))
     return catalog
 
 
 def bench_allocation(catalog: SequenceCatalog, *, smoke: bool) -> dict:
-    """Uniform vs UCB at equal total budget, scored against the Oracle."""
-    workload = generate_workload(rng=SEED)
+    """Uniform vs UCB at equal total budget, scored against the Oracle.
+
+    Runs the corpus flow DAG, then re-runs the legacy monolithic path
+    and asserts the reports are digest-identical — the bench *is* the
+    differential pin for the corpus migration.
+    """
     n_retrieval = 12 if smoke else 24
-    report = run_corpus_experiment(
+    spec = CorpusFlowSpec(
+        sequences=corpus_sequences(smoke=smoke),
+        model="pv_rcnn",
+        model_seed=MODEL_SEED,
+        seed=SEED,
+        budget_fraction=0.10,
+        policies=("uniform", "ucb"),
+        n_retrieval=n_retrieval,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-corpus-flow-") as ckpt:
+        result = FlowRunner(corpus_flow(spec), checkpoint_dir=ckpt).run()
+    report = result["corpus-report"]
+
+    workload = generate_workload(rng=SEED)
+    legacy = run_corpus_experiment(
         catalog,
         pv_rcnn(seed=MODEL_SEED),
         config=MASTConfig(budget_fraction=0.10, seed=SEED),
         retrieval_queries=list(workload.retrieval)[:n_retrieval],
         aggregate_queries=list(workload.aggregates),
+    )
+    digest = corpus_digest(report)
+    assert digest == corpus_digest(legacy), (
+        "corpus flow diverged from the legacy run_corpus_experiment path"
     )
     uniform = report["uniform"]
     ucb = report["ucb"]
@@ -220,9 +257,15 @@ def main(argv: list[str] | None = None) -> int:
     allocation = bench_allocation(catalog, smoke=args.smoke)
     serving = bench_serving(catalog, smoke=args.smoke)
 
+    root = str(Path(__file__).resolve().parent.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from benchmarks._harness import run_manifest
+
     payload = {
         "bench": "corpus",
         "smoke": bool(args.smoke),
+        "manifest": run_manifest(),
         "allocation": allocation,
         "serving": serving,
     }

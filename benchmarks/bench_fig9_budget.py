@@ -6,6 +6,12 @@ budgets (5 %) and narrows above ~20 %, where "a simpler sampling and
 prediction can also achieve a good performance"; Avg accuracy is
 satisfactory even at low budgets.
 
+The sweep runs on the :mod:`repro.flow` DAG runner (the same graph
+``repro flow run fig9`` executes): one checkpointed oracle step shared
+across all five budgets, one ``method:<name>:<budget>`` step per cell.
+A differential test pins the DAG-mode report bit-identical to the
+legacy monolithic ``run_experiment`` path at the smallest budget.
+
 The timed operation is a sampling run at the smallest budget (where the
 adaptive policy does the most work per sample).
 """
@@ -18,46 +24,52 @@ from benchmarks._harness import (
     emit,
     get_experiment,
     get_sequence,
+    scaled_length,
 )
 from repro.core import HierarchicalMultiAgentSampler, MASTConfig
-from repro.evalx import format_table
+from repro.evalx import (
+    ExperimentFlowSpec,
+    experiment_digest,
+    experiment_flow,
+    format_table,
+)
+from repro.flow import FlowRunner
 from repro.models import make_model
 
 BUDGETS = (0.05, 0.10, 0.15, 0.20, 0.25)
 METHODS = ("seiden_pc", "seiden_pcst", "mast")
 
 
-def _rows():
-    rows_f1, rows_avg = [], []
-    for budget in BUDGETS:
-        report = get_experiment(
-            "semantickitti", 0, budget_fraction=budget
-        )
-        rows_f1.append(
-            [
-                f"{int(budget * 100)}%",
-                *(round(report[m].mean_retrieval_f1, 3) for m in METHODS),
-            ]
-        )
-        rows_avg.append(
-            [
-                f"{int(budget * 100)}%",
-                *(
-                    round(report[m].aggregate_accuracy_by_operator()["Avg"], 2)
-                    for m in METHODS
-                ),
-            ]
-        )
-    return rows_f1, rows_avg
-
-
 @pytest.fixture(scope="module")
-def tables():
-    return _rows()
+def flow_result(tmp_path_factory):
+    """Run the whole budget sweep as one DAG."""
+    spec = ExperimentFlowSpec(
+        dataset="semantickitti",
+        sequence_index=0,
+        n_frames=scaled_length("semantickitti", 0),
+        model="pv_rcnn",
+        model_seed=MODEL_SEED,
+        seed=SEED,
+        methods=METHODS,
+        budgets=BUDGETS,
+    )
+    runner = FlowRunner(
+        experiment_flow(spec),
+        checkpoint_dir=tmp_path_factory.mktemp("fig9-flow"),
+    )
+    return runner.run()
 
 
-def test_fig9_budget_sweep(tables, benchmark):
-    rows_f1, rows_avg = tables
+def test_fig9_flow_matches_legacy_runner(flow_result):
+    """Differential pin: DAG-mode ≡ legacy monolithic run_experiment."""
+    legacy = get_experiment("semantickitti", 0, budget_fraction=BUDGETS[0])
+    flow_report = flow_result["report:5pct"]
+    assert experiment_digest(flow_report) == experiment_digest(legacy)
+
+
+def test_fig9_budget_sweep(flow_result, benchmark):
+    summary = flow_result["summary"]
+    rows_f1, rows_avg = summary["rows_f1"], summary["rows_avg"]
     emit(
         "fig9_budget_f1",
         format_table(

@@ -146,7 +146,19 @@ def main(argv=None) -> int:
     )
     reuse = bench_store_reuse(sequence)
 
-    payload = {"fitting": fitting, "store_reuse": reuse}
+    import sys
+
+    root = str(Path(__file__).resolve().parent.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from benchmarks._harness import run_manifest
+
+    payload = {
+        "bench": "sampling_parallel",
+        "manifest": run_manifest(),
+        "fitting": fitting,
+        "store_reuse": reuse,
+    }
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

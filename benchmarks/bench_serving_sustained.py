@@ -247,9 +247,15 @@ def main(argv: list[str] | None = None) -> int:
 
     top = by_workers[str(worker_counts[-1])]
     ratio = top["qps"] / baseline["qps"] if baseline["qps"] else float("inf")
+    root = str(Path(__file__).resolve().parent.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from benchmarks._harness import run_manifest
+
     payload = {
         "bench": "serving_sustained",
         "smoke": smoke,
+        "manifest": run_manifest(),
         "load": {
             "clients": clients,
             "wave_size": wave,

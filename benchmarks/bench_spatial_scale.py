@@ -41,7 +41,12 @@ _ROOT = str(Path(__file__).resolve().parent.parent)
 if _ROOT not in sys.path:
     sys.path.insert(0, _ROOT)
 
-from benchmarks._harness import SPATIAL_PRUNE_SCHEMA, get_sequence, spatial_prune_record
+from benchmarks._harness import (
+    SPATIAL_PRUNE_SCHEMA,
+    get_sequence,
+    run_manifest,
+    spatial_prune_record,
+)
 from repro.core import MASTConfig, MASTPipeline
 from repro.corpus import SequenceSpec
 from repro.models import pv_rcnn
@@ -260,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "bench": "spatial_scale",
         "smoke": bool(args.smoke),
+        "manifest": run_manifest(),
         "min_speedup_bar": MIN_SPEEDUP,
         "scale_points": points,
         "streaming": streaming,

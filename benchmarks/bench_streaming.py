@@ -294,9 +294,17 @@ def main(argv: list[str] | None = None) -> int:
     ingest = bench_ingest(smoke=args.smoke)
     policies = bench_online_policies(smoke=args.smoke)
 
+    import sys
+
+    root = str(Path(__file__).resolve().parent.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from benchmarks._harness import run_manifest
+
     payload = {
         "bench": "streaming",
         "smoke": bool(args.smoke),
+        "manifest": run_manifest(),
         "ingest": ingest,
         "online_replanning": policies,
     }

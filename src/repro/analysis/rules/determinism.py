@@ -15,9 +15,9 @@ import ast
 from typing import Iterator
 
 from repro.analysis.base import Finding, ModuleContext, Rule
-from repro.analysis.imports import iter_qualified
+from repro.analysis.imports import ImportMap, iter_qualified
 
-__all__ = ["NoGlobalRng", "NoUnseededRng"]
+__all__ = ["NoGlobalRng", "NoUnseededRng", "is_unseeded_default_rng"]
 
 #: ``numpy.random`` members that are deterministic plumbing, not
 #: hidden-global-state draws.
@@ -66,6 +66,26 @@ class NoGlobalRng(Rule):
                 )
 
 
+def is_unseeded_default_rng(node: ast.AST, imports: ImportMap) -> bool:
+    """True when ``node`` calls ``default_rng`` without an explicit seed.
+
+    Shared by RPR005 (project-wide) and RPR012 (step-purity), which flag
+    the same construct under different contracts.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    if imports.resolve(node.func) != "numpy.random.default_rng":
+        return False
+    seed = node.args[0] if node.args else None
+    if seed is None:
+        for keyword in node.keywords:
+            if keyword.arg == "seed":
+                seed = keyword.value
+    return seed is None or (
+        isinstance(seed, ast.Constant) and seed.value is None
+    )
+
+
 class NoUnseededRng(Rule):
     code = "RPR005"
     name = "no-unseeded-rng"
@@ -76,19 +96,7 @@ class NoUnseededRng(Rule):
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            qualified = ctx.imports.resolve(node.func)
-            if qualified != "numpy.random.default_rng":
-                continue
-            seed = node.args[0] if node.args else None
-            if seed is None:
-                for keyword in node.keywords:
-                    if keyword.arg == "seed":
-                        seed = keyword.value
-            if seed is None or (
-                isinstance(seed, ast.Constant) and seed.value is None
-            ):
+            if is_unseeded_default_rng(node, ctx.imports):
                 yield self.finding(
                     ctx,
                     node,

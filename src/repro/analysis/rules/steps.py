@@ -1,0 +1,93 @@
+"""RPR012 step-purity: ``@flow.step`` bodies must be replayable.
+
+The flow runner treats replaying a checkpoint as indistinguishable from
+re-executing the step, and chains checkpoint keys through upstream
+result fingerprints.  That only holds if a step's output is a pure
+function of its declared inputs, so inside a step body three things are
+banned outright:
+
+* **wall-clock reads** — the same set RPR002 forbids project-wide, but
+  enforced here even in directories where RPR002 is relaxed (e.g.
+  ``benchmarks/``): a bench script may time itself, its *steps* may not;
+* **module-global mutation** (``global`` statements) — state that leaks
+  across steps bypasses the checkpoint key, so a resumed run would see
+  different globals than the original;
+* **unseeded RNG** — RPR005's check scoped to the step body; a step
+  drawing OS entropy can never replay bit-identically.
+
+Effects a step legitimately needs (progress events, the shared
+detection store, cost accounting) go through the injected ``ctx``
+parameter, which never enters the checkpoint key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule
+from repro.analysis.rules.determinism import is_unseeded_default_rng
+from repro.analysis.rules.wallclock import CLOCK_READS
+
+__all__ = ["StepPurity"]
+
+
+def _is_step_decorator(decorator: ast.expr) -> bool:
+    """Match ``@flow.step(...)``, ``@flow.step``, and aliased flows.
+
+    The decorator is recognised structurally — any ``.step`` attribute,
+    optionally called — because flow objects are local variables the
+    import map cannot resolve.  A class method named ``step`` used as a
+    decorator is by construction a step registrar in this codebase.
+    """
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    return isinstance(target, ast.Attribute) and target.attr == "step"
+
+
+class StepPurity(Rule):
+    code = "RPR012"
+    name = "step-purity"
+    rationale = (
+        "@flow.step bodies must replay bit-identically from checkpoints: "
+        "no wall-clock reads, no module-global mutation, no unseeded RNG "
+        "(effects go through the injected ctx channel)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not any(_is_step_decorator(d) for d in node.decorator_list):
+                continue
+            yield from self._check_step(ctx, node)
+
+    def _check_step(
+        self, ctx: ModuleContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"step '{fn.name}' mutates module global(s) {names}; "
+                    "return the value or use the ctx effect channel",
+                )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                qualified = ctx.imports.resolve(node)
+                if qualified in CLOCK_READS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"step '{fn.name}' reads the wall clock via "
+                        f"'{qualified}'; step timing is recorded by the "
+                        "runner, not the step",
+                    )
+            if is_unseeded_default_rng(node, ctx.imports):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"step '{fn.name}' draws an unseeded default_rng(); "
+                    "derive the seed from step params so replay is "
+                    "bit-identical",
+                )

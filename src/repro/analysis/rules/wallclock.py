@@ -19,9 +19,12 @@ from typing import Iterator
 from repro.analysis.base import Finding, ModuleContext, Rule
 from repro.analysis.imports import iter_qualified
 
-__all__ = ["NoWallClock"]
+__all__ = ["CLOCK_READS", "NoWallClock"]
 
-_CLOCK_READS = frozenset(
+#: Qualified names whose value depends on the machine's clock.  Shared
+#: with RPR012 (step-purity), which enforces the same ban inside
+#: ``@flow.step`` bodies even in directories where RPR002 is relaxed.
+CLOCK_READS = frozenset(
     {
         "time.time",
         "time.time_ns",
@@ -51,7 +54,7 @@ class NoWallClock(Rule):
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node, qualified in iter_qualified(ctx.tree, ctx.imports):
-            if qualified in _CLOCK_READS:
+            if qualified in CLOCK_READS:
                 yield self.finding(
                     ctx,
                     node,

@@ -21,6 +21,9 @@ Four subcommands cover the operational lifecycle:
   arrive on per-sequence schedules, the budget re-plans online, and
   queries run against the live indexes under a bounded-staleness
   contract (:mod:`repro.streaming`);
+* ``repro flow`` — run/resume the named checkpointed experiment flows
+  (``experiment``, ``fig9``, ``corpus``) and tail their JSONL event
+  streams (:mod:`repro.flow`);
 * ``repro lint`` — run the project static-analysis rules
   (:mod:`repro.analysis`).
 
@@ -210,6 +213,64 @@ def build_parser() -> argparse.ArgumentParser:
                         "scope, otherwise the query fans out (unscoped "
                         "queries also become standing queries, tracked "
                         "at every re-plan epoch)")
+
+    flow = sub.add_parser(
+        "flow",
+        help="run, resume, or tail a checkpointed experiment flow "
+        "(repro.flow)",
+    )
+    flow_sub = flow.add_subparsers(dest="action", required=True)
+    for action in ("run", "resume"):
+        runner = flow_sub.add_parser(
+            action,
+            help=(
+                "execute a named flow (completed steps replay from "
+                "checkpoints)"
+                if action == "run"
+                else "re-run a flow against its existing checkpoints"
+            ),
+        )
+        runner.add_argument("flow_name", choices=("experiment", "fig9", "corpus"),
+                            help="named flow to execute")
+        runner.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                            help="checkpoint directory "
+                            "(default .repro-flow/<name>)")
+        runner.add_argument("--events", default=None, metavar="PATH",
+                            help="JSONL event log "
+                            "(default <checkpoint-dir>/events.jsonl)")
+        runner.add_argument("--interrupt-after", default=None, metavar="STEP",
+                            help="crash drill: stop right after this step's "
+                            "checkpoint is written")
+        runner.add_argument("--dataset", choices=_DATASETS,
+                            default="semantickitti")
+        runner.add_argument("--sequence-index", type=int, default=0)
+        runner.add_argument("--frames", type=int, default=None,
+                            help="sequence length (default: the benchmark "
+                            "harness scaling, REPRO_BENCH_SCALE of the "
+                            "paper length with a 1000-frame floor)")
+        runner.add_argument("--budgets", default=None, metavar="B1,B2,...",
+                            help="budget fractions; fig9 defaults to "
+                            "0.05..0.25, experiment to 0.10")
+        runner.add_argument("--methods", default="seiden_pc,seiden_pcst,mast",
+                            metavar="M1,M2,...")
+        runner.add_argument("--sequences", nargs="+", default=None,
+                            metavar="SPEC",
+                            help="corpus flow catalog, each "
+                            "dataset[:index[:frames]]")
+        runner.add_argument("--policies", default="uniform,ucb",
+                            metavar="P1,P2,...", help="corpus flow policies")
+        runner.add_argument("--n-retrieval", type=int, default=None,
+                            help="truncate the corpus retrieval workload")
+        runner.add_argument("--model", choices=available_models(),
+                            default="pv_rcnn")
+        runner.add_argument("--seed", type=int, default=1)
+    tail = flow_sub.add_parser(
+        "tail", help="render a flow's JSONL event stream human-readably"
+    )
+    tail.add_argument("events", help="events file, or a checkpoint "
+                      "directory containing events.jsonl")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep watching until the run finishes")
 
     lint = sub.add_parser(
         "lint", help="run the project static-analysis rules (repro.analysis)"
@@ -763,6 +824,190 @@ def _stream_query(service, text: str, out) -> int:
     return 0
 
 
+def _default_flow_frames(dataset: str, sequence_index: int) -> int:
+    """The benchmark harness's scaled length (1000-frame floor)."""
+    import os
+
+    from repro.simulation import dataset_spec
+
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+    paper_length = dataset_spec(dataset).lengths[sequence_index]
+    return max(1000, int(round(paper_length * scale)))
+
+
+def _parse_floats(text: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+def _flow_for_args(args):
+    """Build the named flow (and its spec) from CLI arguments."""
+    from repro.evalx import (
+        CorpusFlowSpec,
+        ExperimentFlowSpec,
+        corpus_flow,
+        experiment_flow,
+    )
+
+    methods = tuple(part for part in args.methods.split(",") if part.strip())
+    if args.flow_name == "corpus":
+        if not args.sequences:
+            raise ValueError("the corpus flow requires --sequences")
+        entries = []
+        for text in args.sequences:
+            spec = _parse_corpus_spec(text)
+            entries.append(
+                (
+                    spec.dataset,
+                    spec.index,
+                    spec.resolved_length(),
+                    f"{spec.dataset}-{spec.index:02d}",
+                    (),
+                )
+            )
+        budgets = _parse_floats(args.budgets) if args.budgets else (0.10,)
+        spec = CorpusFlowSpec(
+            sequences=tuple(entries),
+            model=args.model,
+            seed=args.seed,
+            budget_fraction=budgets[0],
+            policies=tuple(
+                part for part in args.policies.split(",") if part.strip()
+            ),
+            n_retrieval=args.n_retrieval,
+        )
+        return corpus_flow(spec), spec
+
+    if args.budgets:
+        budgets: tuple[float | None, ...] = _parse_floats(args.budgets)
+    elif args.flow_name == "fig9":
+        budgets = (0.05, 0.10, 0.15, 0.20, 0.25)
+    else:
+        budgets = (0.10,)
+    frames = args.frames
+    if frames is None:
+        frames = _default_flow_frames(args.dataset, args.sequence_index)
+    spec = ExperimentFlowSpec(
+        dataset=args.dataset,
+        sequence_index=args.sequence_index,
+        n_frames=frames,
+        model=args.model,
+        seed=args.seed,
+        methods=methods,
+        budgets=budgets,
+    )
+    return experiment_flow(spec), spec
+
+
+def _cmd_flow(args, out) -> int:
+    from pathlib import Path
+
+    if args.action == "tail":
+        from repro.flow import tail_events
+
+        path = Path(args.events)
+        if path.is_dir():
+            path = path / "events.jsonl"
+        if not path.is_file():
+            print(f"error: no event log at {path}", file=out)
+            return 2
+        tail_events(path, out, follow=args.follow)
+        return 0
+
+    from repro.evalx import corpus_digest, experiment_digest
+    from repro.evalx.flows import budget_label
+    from repro.evalx.reporting import format_table
+    from repro.flow import FlowInterrupted, FlowRunner
+
+    try:
+        flow, spec = _flow_for_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    checkpoint_dir = Path(
+        args.checkpoint_dir
+        if args.checkpoint_dir
+        else Path(".repro-flow") / args.flow_name
+    )
+    if args.action == "resume" and not (checkpoint_dir / "steps").is_dir():
+        print(
+            f"error: nothing to resume — no checkpoints under "
+            f"{checkpoint_dir}",
+            file=out,
+        )
+        return 2
+    events_path = (
+        Path(args.events) if args.events else checkpoint_dir / "events.jsonl"
+    )
+    runner = FlowRunner(
+        flow,
+        checkpoint_dir=checkpoint_dir,
+        events_path=events_path,
+        interrupt_after=args.interrupt_after,
+    )
+    try:
+        result = runner.run()
+    except FlowInterrupted as interrupted:
+        print(f"{interrupted}", file=out)
+        return 3
+    executed = [name for name in flow.order() if name not in result.cached]
+    print(
+        f"flow {flow.name}: {len(executed)} steps executed, "
+        f"{len(result.cached)} replayed from checkpoints "
+        f"({checkpoint_dir})",
+        file=out,
+    )
+
+    if args.flow_name == "corpus":
+        report = result["corpus-report"]
+        rows = [
+            [
+                policy.policy,
+                policy.total_frames,
+                round(policy.retrieval_f1, 4),
+                round(policy.aggregate_error, 5),
+            ]
+            for policy in report.policies.values()
+        ]
+        print(
+            format_table(
+                ["policy", "frames", "retrieval F1", "aggregate error"],
+                rows,
+                title=f"corpus allocation over {len(report.sequences)} "
+                f"sequences ({report.n_retrieval_queries} retrieval / "
+                f"{report.n_aggregate_queries} aggregate queries)",
+            ),
+            file=out,
+        )
+        print(f"report digest: {corpus_digest(report)}", file=out)
+        return 0
+
+    summary = result["summary"]
+    print(
+        format_table(
+            ["budget", *summary["methods"]],
+            summary["rows_f1"],
+            title=f"{flow.name}: retrieval F1 vs sampling budget",
+        ),
+        file=out,
+    )
+    print(
+        format_table(
+            ["budget", *summary["methods"]],
+            summary["rows_avg"],
+            title=f"{flow.name}: Avg aggregate accuracy % vs budget",
+        ),
+        file=out,
+    )
+    for budget in spec.budgets:
+        report = result[f"report:{budget_label(budget)}"]
+        print(
+            f"report digest [{budget_label(budget)}]: "
+            f"{experiment_digest(report)}",
+            file=out,
+        )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "fit": _cmd_fit,
@@ -772,6 +1017,7 @@ _COMMANDS = {
     "serve-workload": _cmd_serve_workload,
     "corpus": _cmd_corpus,
     "stream": _cmd_stream,
+    "flow": _cmd_flow,
     "lint": _cmd_lint,
 }
 

@@ -21,6 +21,7 @@ accuracy comparison (UCB vs uniform at equal cost).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -40,12 +41,18 @@ from repro.utils.validation import require
 __all__ = [
     "CorpusPolicyReport",
     "CorpusExperimentReport",
+    "CorpusTruth",
+    "corpus_oracle_truth",
+    "score_policy",
     "run_corpus_experiment",
 ]
 
 #: Queries the corpus harness understands (unscoped; every query fans
 #: out over the whole catalog).
 CorpusWorkloadQuery = RetrievalQuery | CompoundRetrievalQuery | AggregateQuery
+
+#: The retrieval subset, answered as corpus-wide ``(sequence, id)`` sets.
+CorpusRetrievalQuery = RetrievalQuery | CompoundRetrievalQuery
 
 
 @dataclass
@@ -140,10 +147,108 @@ class _CorpusOracle:
         return float(aggregate(query.operator, combined, query.count_predicate))
 
 
-def _evaluate_on_provider(query, provider):
+def _evaluate_on_provider(
+    query: RetrievalQuery | CompoundRetrievalQuery,
+    provider: OracleCountProvider,
+) -> RetrievalResult:
     from repro.query.engine import evaluate_query
 
     return evaluate_query(query, provider.count_series, provider.n_frames)
+
+
+@dataclass
+class CorpusTruth:
+    """Exact corpus-wide workload answers (§7.1 filtered).
+
+    ``retrieval_truth`` pairs each kept query with its oracle id set of
+    ``(sequence, frame_id)`` tuples; ``aggregate_truth`` pairs each
+    aggregate query with its exact corpus-wide value.  Deterministic
+    over (catalog, model, workload), so the flow layer checkpoints one
+    truth and replays it under every policy step.
+    """
+
+    sequences: tuple[str, ...]
+    model: str
+    total_corpus_frames: int
+    retrieval_truth: list[tuple[CorpusRetrievalQuery, set[tuple[str, int]]]]
+    aggregate_truth: list[tuple[AggregateQuery, float]]
+    ledger: CostLedger
+
+
+def corpus_oracle_truth(
+    catalog: SequenceCatalog,
+    model: DetectionModel,
+    *,
+    retrieval_queries: Sequence[CorpusRetrievalQuery],
+    aggregate_queries: Sequence[AggregateQuery],
+    engine: InferenceEngine,
+) -> CorpusTruth:
+    """Detect every frame once and answer the whole corpus workload."""
+    oracle = _CorpusOracle(catalog, model, engine=engine)
+
+    # Oracle truth; zero-cardinality retrievals are dropped (§7.1).
+    retrieval_truth: list[tuple[CorpusRetrievalQuery, set[tuple[str, int]]]] = []
+    for query in retrieval_queries:
+        truth = oracle.retrieval_ids(query)
+        if truth:
+            retrieval_truth.append((query, truth))
+    aggregate_truth = [
+        (query, oracle.aggregate_value(query)) for query in aggregate_queries
+    ]
+    return CorpusTruth(
+        sequences=catalog.names(),
+        model=model.name,
+        total_corpus_frames=catalog.total_frames(),
+        retrieval_truth=retrieval_truth,
+        aggregate_truth=aggregate_truth,
+        ledger=oracle.ledger,
+    )
+
+
+def score_policy(
+    catalog: SequenceCatalog,
+    model: DetectionModel,
+    config: MASTConfig,
+    truth: CorpusTruth,
+    *,
+    policy: str,
+    round_size: int,
+    engine: InferenceEngine,
+) -> CorpusPolicyReport:
+    """Fit one budget policy and score it against corpus oracle truth."""
+    corpus = CorpusPipeline(
+        catalog,
+        config,
+        policy=policy,
+        round_size=round_size,
+        engine=engine,
+    ).fit(model)
+    f1_scores = [
+        f1_score(corpus.query(query).id_set(), expected)
+        for query, expected in truth.retrieval_truth
+    ]
+    errors = [
+        1.0 - aggregate_accuracy(corpus.query(query).value, expected)
+        for query, expected in truth.aggregate_truth
+    ]
+    allocation = corpus.allocation
+    assert allocation is not None
+    report = CorpusPolicyReport(
+        policy=policy,
+        total_frames=allocation.total_frames,
+        frames_by_sequence=dict(allocation.frames_by_sequence),
+        retrieval_f1=(
+            float(np.mean(f1_scores)) if f1_scores else float("nan")
+        ),
+        aggregate_error=(
+            float(np.mean(errors)) if errors else float("nan")
+        ),
+        n_retrieval_queries=len(truth.retrieval_truth),
+        n_aggregate_queries=len(truth.aggregate_truth),
+        ledger_summary=corpus.cost_summary(),
+    )
+    corpus.close()
+    return report
 
 
 def run_corpus_experiment(
@@ -153,8 +258,8 @@ def run_corpus_experiment(
     config: MASTConfig | None = None,
     policies: tuple[str, ...] = ("uniform", "ucb"),
     round_size: int = 8,
-    retrieval_queries: list[CorpusWorkloadQuery] | None = None,
-    aggregate_queries: list[AggregateQuery] | None = None,
+    retrieval_queries: Sequence[CorpusRetrievalQuery] | None = None,
+    aggregate_queries: Sequence[AggregateQuery] | None = None,
     detection_store: DetectionStore | None = None,
 ) -> CorpusExperimentReport:
     """Score budget policies on a corpus at equal total budget.
@@ -176,59 +281,31 @@ def run_corpus_experiment(
 
     store = detection_store if detection_store is not None else DetectionStore()
     with InferenceEngine.from_config(config, store=store) as engine:
-        oracle = _CorpusOracle(catalog, model, engine=engine)
-
-        # Oracle truth; zero-cardinality retrievals are dropped (§7.1).
-        retrieval_truth: list[tuple[CorpusWorkloadQuery, set[tuple[str, int]]]] = []
-        for query in retrieval_queries:
-            truth = oracle.retrieval_ids(query)
-            if truth:
-                retrieval_truth.append((query, truth))
-        aggregate_truth = [
-            (query, oracle.aggregate_value(query)) for query in aggregate_queries
-        ]
-
+        truth = corpus_oracle_truth(
+            catalog,
+            model,
+            retrieval_queries=retrieval_queries,
+            aggregate_queries=aggregate_queries,
+            engine=engine,
+        )
         reports: dict[str, CorpusPolicyReport] = {}
         for policy in policies:
-            corpus = CorpusPipeline(
+            reports[policy] = score_policy(
                 catalog,
+                model,
                 config,
+                truth,
                 policy=policy,
                 round_size=round_size,
                 engine=engine,
-            ).fit(model)
-            f1_scores = [
-                f1_score(corpus.query(query).id_set(), truth)
-                for query, truth in retrieval_truth
-            ]
-            errors = [
-                1.0 - aggregate_accuracy(corpus.query(query).value, truth)
-                for query, truth in aggregate_truth
-            ]
-            allocation = corpus.allocation
-            assert allocation is not None
-            reports[policy] = CorpusPolicyReport(
-                policy=policy,
-                total_frames=allocation.total_frames,
-                frames_by_sequence=dict(allocation.frames_by_sequence),
-                retrieval_f1=(
-                    float(np.mean(f1_scores)) if f1_scores else float("nan")
-                ),
-                aggregate_error=(
-                    float(np.mean(errors)) if errors else float("nan")
-                ),
-                n_retrieval_queries=len(retrieval_truth),
-                n_aggregate_queries=len(aggregate_truth),
-                ledger_summary=corpus.cost_summary(),
             )
-            corpus.close()
 
     return CorpusExperimentReport(
-        sequences=catalog.names(),
-        model=model.name,
-        total_corpus_frames=catalog.total_frames(),
-        oracle_ledger=oracle.ledger,
+        sequences=truth.sequences,
+        model=truth.model,
+        total_corpus_frames=truth.total_corpus_frames,
+        oracle_ledger=truth.ledger,
         policies=reports,
-        n_retrieval_queries=len(retrieval_truth),
-        n_aggregate_queries=len(aggregate_truth),
+        n_retrieval_queries=len(truth.retrieval_truth),
+        n_aggregate_queries=len(truth.aggregate_truth),
     )

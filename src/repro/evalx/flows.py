@@ -1,0 +1,563 @@
+"""Named experiment flows: the evalx harness decomposed into DAG steps.
+
+The monolithic :func:`~repro.evalx.runner.run_experiment` and
+:func:`~repro.evalx.corpus.run_corpus_experiment` pipelines are
+re-expressed here as :class:`~repro.flow.Flow` graphs of pure steps:
+
+* ``sequence`` / ``workload`` — cheap deterministic builders
+  (``cache=False``: recomputed every run, fingerprinted by inputs);
+* ``oracle`` — the full-processing truth pass, checkpointed once and
+  replayed under every method and budget;
+* ``method:<name>[:<budget>]`` — one checkpointed
+  :func:`~repro.evalx.runner.evaluate_method` call per (method, budget);
+* ``report[:<budget>]`` / ``summary`` — assembly of the same
+  :class:`~repro.evalx.runner.ExperimentReport` objects the legacy path
+  returns, **bit-identically** (pinned by :func:`experiment_digest`,
+  which excludes only measured wall-clock by construction).
+
+The corpus flow mirrors :func:`run_corpus_experiment` with one twist:
+the shared in-memory detection store becomes a *persistent* store under
+the run's checkpoint directory (``ctx.store_dir``), so a crash between
+policy steps resumes without re-detecting — the engine records disk
+hits exactly like memory hits and never re-bills them.
+
+:func:`add_session_chain` slots a resumable
+:class:`~repro.core.sampler.AdaptiveSamplingSession` in as a chain of
+checkpointable steps: each chunk replays the (bit-identical) selection
+trajectory with the previous chunk's detections carried as ``known`` —
+carried frames are never re-charged, so the final chunk's
+:class:`~repro.core.sampler.SamplingResult` matches a one-shot
+``sampler.sample()`` run frame for frame and simulated-second for
+simulated-second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.variants import get_method
+from repro.core.config import MASTConfig
+from repro.core.sampler import (
+    AdaptiveSamplingSession,
+    HierarchicalMultiAgentSampler,
+    SamplingResult,
+)
+from repro.corpus import SequenceCatalog, SequenceSpec
+from repro.data.sequence import FrameSequence
+from repro.evalx.corpus import (
+    CorpusExperimentReport,
+    CorpusPolicyReport,
+    CorpusTruth,
+    corpus_oracle_truth,
+    score_policy,
+)
+from repro.evalx.runner import (
+    ExperimentReport,
+    MethodReport,
+    OracleTruth,
+    evaluate_method,
+    oracle_truth,
+)
+from repro.flow import Flow, StepContext, stable_digest
+from repro.inference import DetectionStore, InferenceEngine
+from repro.models import make_model
+from repro.query.workload import QueryWorkload, generate_workload
+from repro.simulation import build_sequence, dataset_spec
+
+__all__ = [
+    "ExperimentFlowSpec",
+    "CorpusFlowSpec",
+    "experiment_flow",
+    "corpus_flow",
+    "add_session_chain",
+    "experiment_digest",
+    "corpus_digest",
+    "budget_label",
+]
+
+#: Default model seed, matching ``benchmarks/_harness.MODEL_SEED``.
+DEFAULT_MODEL_SEED = 5
+
+
+@dataclass(frozen=True)
+class ExperimentFlowSpec:
+    """Configuration of one single-sequence experiment flow.
+
+    ``budgets`` sweeps ``MASTConfig.budget_fraction``; ``None`` entries
+    use the config default.  With several budgets the flow shares one
+    oracle step across the whole sweep — the DAG-shaped win over the
+    legacy path, which re-ran the oracle once per budget.
+    """
+
+    dataset: str = "semantickitti"
+    sequence_index: int = 0
+    n_frames: int = 1000
+    model: str = "pv_rcnn"
+    model_seed: int = DEFAULT_MODEL_SEED
+    seed: int = 1
+    methods: tuple[str, ...] = ("seiden_pc", "seiden_pcst", "mast")
+    budgets: tuple[float | None, ...] = (None,)
+
+
+@dataclass(frozen=True)
+class CorpusFlowSpec:
+    """Configuration of one corpus allocation flow.
+
+    ``sequences`` entries are ``(dataset, sequence_index, n_frames,
+    name, world_overrides)`` tuples — primitive enough to live in a
+    checkpoint key — and are materialized into a
+    :class:`~repro.corpus.SequenceCatalog` by the catalog step.
+    """
+
+    sequences: tuple[tuple[str, int, int, str, tuple[tuple[str, float], ...]], ...]
+    model: str = "pv_rcnn"
+    model_seed: int = DEFAULT_MODEL_SEED
+    seed: int = 1
+    budget_fraction: float = 0.10
+    policies: tuple[str, ...] = ("uniform", "ucb")
+    round_size: int = 8
+    #: Truncate the generated retrieval workload (None keeps all).
+    n_retrieval: int | None = None
+
+
+def budget_label(budget: float | None) -> str:
+    """Step-name suffix for one budget (``0.05`` -> ``"5pct"``)."""
+    if budget is None:
+        return "default"
+    return f"{int(round(budget * 100))}pct"
+
+
+# ----------------------------------------------------------------------
+# Step functions (pure over their declared inputs)
+# ----------------------------------------------------------------------
+def _sequence_step(dataset: str, sequence_index: int, n_frames: int) -> FrameSequence:
+    return build_sequence(
+        dataset_spec(dataset), sequence_index, n_frames=n_frames, with_points=False
+    )
+
+
+def _workload_step(seed: int) -> QueryWorkload:
+    return generate_workload(rng=seed)
+
+
+def _oracle_step(
+    sequence: FrameSequence,
+    workload: QueryWorkload,
+    model: str,
+    model_seed: int,
+) -> OracleTruth:
+    return oracle_truth(sequence, make_model(model, seed=model_seed), workload)
+
+
+def _method_step(
+    sequence: FrameSequence,
+    truth: OracleTruth,
+    method: str,
+    model: str,
+    model_seed: int,
+    seed: int,
+    budget: float | None,
+    ctx: StepContext,
+) -> MethodReport:
+    config = _make_config(seed, budget)
+    report = evaluate_method(
+        get_method(method),
+        sequence,
+        make_model(model, seed=model_seed),
+        config,
+        truth,
+    )
+    ctx.ledger.merge(report.ledger)
+    return report
+
+
+def _report_step(
+    truth: OracleTruth, methods: tuple[MethodReport, ...]
+) -> ExperimentReport:
+    return ExperimentReport(
+        sequence=truth.sequence,
+        model=truth.model,
+        n_frames=truth.n_frames,
+        oracle_ledger=truth.ledger,
+        methods={report.method: report for report in methods},
+        n_retrieval_queries=len(truth.retrieval_queries),
+        n_aggregate_queries=len(truth.aggregate_queries),
+    )
+
+
+def _summary_step(
+    reports: tuple[ExperimentReport, ...],
+    methods: tuple[str, ...],
+    budgets: tuple[float | None, ...],
+) -> dict[str, object]:
+    """Fig-9-shaped rows: retrieval F1 and Avg accuracy per budget."""
+    rows_f1: list[list[object]] = []
+    rows_avg: list[list[object]] = []
+    for budget, report in zip(budgets, reports):
+        label = "default" if budget is None else f"{int(budget * 100)}%"
+        rows_f1.append(
+            [label, *(round(report[m].mean_retrieval_f1, 3) for m in methods)]
+        )
+        rows_avg.append(
+            [
+                label,
+                *(
+                    round(report[m].aggregate_accuracy_by_operator()["Avg"], 2)
+                    for m in methods
+                ),
+            ]
+        )
+    return {
+        "methods": list(methods),
+        "budgets": [budget_label(budget) for budget in budgets],
+        "rows_f1": rows_f1,
+        "rows_avg": rows_avg,
+    }
+
+
+def _make_config(seed: int, budget: float | None) -> MASTConfig:
+    if budget is None:
+        return MASTConfig(seed=seed)
+    return MASTConfig(seed=seed, budget_fraction=budget)
+
+
+def experiment_flow(spec: ExperimentFlowSpec) -> Flow:
+    """The single-sequence method-comparison harness as a flow.
+
+    Output steps: ``report:<budget>`` per budget (an
+    :class:`ExperimentReport` bit-identical to the legacy path at that
+    budget) and ``summary`` with fig9-shaped rows over the sweep.
+    """
+    flow = Flow(f"experiment-{spec.dataset}-{spec.sequence_index}")
+    flow.add(
+        _sequence_step,
+        name="sequence",
+        params={
+            "dataset": spec.dataset,
+            "sequence_index": spec.sequence_index,
+            "n_frames": spec.n_frames,
+        },
+        cache=False,
+        fingerprint="inputs",
+    )
+    flow.add(
+        _workload_step,
+        name="workload",
+        params={"seed": spec.seed},
+        cache=False,
+        fingerprint="inputs",
+    )
+    flow.add(
+        _oracle_step,
+        name="oracle",
+        deps={"sequence": "sequence", "workload": "workload"},
+        params={"model": spec.model, "model_seed": spec.model_seed},
+    )
+    report_steps: list[str] = []
+    for budget in spec.budgets:
+        label = budget_label(budget)
+        method_steps: list[str] = []
+        for method in spec.methods:
+            method_steps.append(
+                flow.add(
+                    _method_step,
+                    name=f"method:{method}:{label}",
+                    deps={"sequence": "sequence", "truth": "oracle"},
+                    params={
+                        "method": method,
+                        "model": spec.model,
+                        "model_seed": spec.model_seed,
+                        "seed": spec.seed,
+                        "budget": budget,
+                    },
+                )
+            )
+        report_steps.append(
+            flow.add(
+                _report_step,
+                name=f"report:{label}",
+                deps={"truth": "oracle", "methods": tuple(method_steps)},
+            )
+        )
+    flow.add(
+        _summary_step,
+        name="summary",
+        deps={"reports": tuple(report_steps)},
+        params={"methods": spec.methods, "budgets": spec.budgets},
+    )
+    return flow
+
+
+# ----------------------------------------------------------------------
+# Corpus flow
+# ----------------------------------------------------------------------
+def _catalog_step(
+    sequences: tuple[tuple[str, int, int, str, tuple[tuple[str, float], ...]], ...],
+) -> SequenceCatalog:
+    catalog = SequenceCatalog()
+    for dataset, sequence_index, n_frames, name, world_overrides in sequences:
+        catalog.register(
+            SequenceSpec(
+                dataset,
+                sequence_index,
+                n_frames=n_frames,
+                name=name,
+                world_overrides=world_overrides,
+            )
+        )
+    return catalog
+
+
+def _corpus_oracle_step(
+    catalog: SequenceCatalog,
+    model: str,
+    model_seed: int,
+    seed: int,
+    budget_fraction: float,
+    n_retrieval: int | None,
+    ctx: StepContext,
+) -> CorpusTruth:
+    workload = generate_workload(rng=seed)
+    retrieval = list(workload.retrieval)
+    if n_retrieval is not None:
+        retrieval = retrieval[:n_retrieval]
+    config = MASTConfig(seed=seed, budget_fraction=budget_fraction)
+    store = DetectionStore(persist_dir=ctx.store_dir)
+    with InferenceEngine.from_config(config, store=store) as engine:
+        truth = corpus_oracle_truth(
+            catalog,
+            make_model(model, seed=model_seed),
+            retrieval_queries=retrieval,
+            aggregate_queries=list(workload.aggregates),
+            engine=engine,
+        )
+    ctx.ledger.merge(truth.ledger)
+    return truth
+
+
+def _policy_step(
+    catalog: SequenceCatalog,
+    truth: CorpusTruth,
+    policy: str,
+    model: str,
+    model_seed: int,
+    seed: int,
+    budget_fraction: float,
+    round_size: int,
+    ctx: StepContext,
+) -> CorpusPolicyReport:
+    config = MASTConfig(seed=seed, budget_fraction=budget_fraction)
+    store = DetectionStore(persist_dir=ctx.store_dir)
+    with InferenceEngine.from_config(config, store=store) as engine:
+        return score_policy(
+            catalog,
+            make_model(model, seed=model_seed),
+            config,
+            truth,
+            policy=policy,
+            round_size=round_size,
+            engine=engine,
+        )
+
+
+def _corpus_report_step(
+    truth: CorpusTruth, policies: tuple[CorpusPolicyReport, ...]
+) -> CorpusExperimentReport:
+    return CorpusExperimentReport(
+        sequences=truth.sequences,
+        model=truth.model,
+        total_corpus_frames=truth.total_corpus_frames,
+        oracle_ledger=truth.ledger,
+        policies={report.policy: report for report in policies},
+        n_retrieval_queries=len(truth.retrieval_truth),
+        n_aggregate_queries=len(truth.aggregate_truth),
+    )
+
+
+def corpus_flow(spec: CorpusFlowSpec) -> Flow:
+    """The corpus allocation harness as a flow.
+
+    The ``corpus-report`` step reproduces
+    :func:`~repro.evalx.corpus.run_corpus_experiment` bit-identically
+    (pinned by :func:`corpus_digest`); oracle detections persist in the
+    run's shared store, so policy steps — and resumed runs — replay
+    them as cache hits instead of re-billing model invocations.
+    """
+    flow = Flow("corpus")
+    flow.add(
+        _catalog_step,
+        name="catalog",
+        params={"sequences": spec.sequences},
+        cache=False,
+        fingerprint="inputs",
+    )
+    flow.add(
+        _corpus_oracle_step,
+        name="corpus-oracle",
+        deps={"catalog": "catalog"},
+        params={
+            "model": spec.model,
+            "model_seed": spec.model_seed,
+            "seed": spec.seed,
+            "budget_fraction": spec.budget_fraction,
+            "n_retrieval": spec.n_retrieval,
+        },
+    )
+    policy_steps: list[str] = []
+    for policy in spec.policies:
+        policy_steps.append(
+            flow.add(
+                _policy_step,
+                name=f"policy:{policy}",
+                deps={"catalog": "catalog", "truth": "corpus-oracle"},
+                params={
+                    "policy": policy,
+                    "model": spec.model,
+                    "model_seed": spec.model_seed,
+                    "seed": spec.seed,
+                    "budget_fraction": spec.budget_fraction,
+                    "round_size": spec.round_size,
+                },
+            )
+        )
+    flow.add(
+        _corpus_report_step,
+        name="corpus-report",
+        deps={"truth": "corpus-oracle", "policies": tuple(policy_steps)},
+    )
+    return flow
+
+
+# ----------------------------------------------------------------------
+# Adaptive sampling sessions as checkpointable steps
+# ----------------------------------------------------------------------
+def _session_chunk_step(
+    sequence: FrameSequence,
+    carried: SamplingResult | None,
+    model: str,
+    model_seed: int,
+    seed: int,
+    budget: float | None,
+    part: int,
+    parts: int,
+) -> SamplingResult:
+    """Advance the adaptive session to ``(part+1)/parts`` of its budget.
+
+    Session re-entry semantics (see
+    :class:`~repro.core.sampler.AdaptiveSamplingSession`): the selection
+    trajectory replays bit-identically from the start of the adaptive
+    phase, and frames carried in ``known`` are never re-detected or
+    re-charged — so chaining chunks through checkpoints accumulates
+    exactly the one-shot run's detections, rewards, and simulated cost.
+    """
+    config = _make_config(seed, budget)
+    sampler = HierarchicalMultiAgentSampler(config, reward_kind="st")
+    known = dict(carried.detections) if carried is not None else None
+    ledger = carried.ledger if carried is not None else None
+    with InferenceEngine.from_config(config) as engine:
+        session = AdaptiveSamplingSession(
+            sampler,
+            sequence,
+            make_model(model, seed=model_seed),
+            engine=engine,
+            ledger=ledger,
+            known=known,
+        )
+        adaptive_total = session.remaining
+        target = -(-adaptive_total * (part + 1) // parts)  # ceil division
+        session.step(int(target))
+        return session.result()
+
+
+def add_session_chain(
+    flow: Flow,
+    *,
+    name: str = "sample",
+    sequence_step: str = "sequence",
+    model: str = "pv_rcnn",
+    model_seed: int = DEFAULT_MODEL_SEED,
+    seed: int = 1,
+    budget: float | None = None,
+    parts: int = 4,
+) -> str:
+    """Register an adaptive sampling session as ``parts`` chained steps.
+
+    Returns the name of the final step, whose output is the complete
+    :class:`~repro.core.sampler.SamplingResult`.  A crash between
+    chunks resumes from the last chunk's checkpoint: the next chunk
+    carries its detections as ``known`` and its ledger forward, so the
+    chain's final result is frame-for-frame identical to a one-shot
+    ``sampler.sample()`` run (policy wall-clock aside).
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    previous: str | None = None
+    for part in range(parts):
+        step_name = f"{name}:chunk{part}"
+        deps: dict[str, str] = {"sequence": sequence_step}
+        params: dict[str, object] = {
+            "model": model,
+            "model_seed": model_seed,
+            "seed": seed,
+            "budget": budget,
+            "part": part,
+            "parts": parts,
+        }
+        if previous is None:
+            params["carried"] = None
+        else:
+            deps["carried"] = previous
+        flow.add(
+            _session_chunk_step,
+            name=step_name,
+            deps=deps,
+            params=params,
+        )
+        previous = step_name
+    assert previous is not None
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Differential digests (flow-vs-legacy bit-identity pins)
+# ----------------------------------------------------------------------
+def experiment_digest(report: ExperimentReport) -> str:
+    """Content fingerprint of an experiment report.
+
+    Covers every field — query evaluations, sampling results, ledgers —
+    except measured wall-clock seconds, which
+    :func:`~repro.flow.stable_digest` excludes via
+    :meth:`~repro.utils.timing.CostLedger.deterministic_state`.  Two
+    runs agree on this digest iff they agree on every answer, metric,
+    sampled frame, and simulated cost.
+    """
+    return stable_digest(report)
+
+
+def corpus_digest(report: CorpusExperimentReport) -> str:
+    """Content fingerprint of a corpus report.
+
+    ``CorpusPolicyReport.ledger_summary`` embeds measured wall-clock
+    seconds (``cost_summary()``), so it is excluded; everything else —
+    allocations, scores, query counts, the oracle ledger's
+    deterministic state — is covered.
+    """
+    policies = {
+        name: {
+            key: value
+            for key, value in policy.as_dict().items()
+            if key != "ledger_summary"
+        }
+        for name, policy in report.policies.items()
+    }
+    return stable_digest(
+        {
+            "sequences": list(report.sequences),
+            "model": report.model,
+            "total_corpus_frames": report.total_corpus_frames,
+            "n_retrieval_queries": report.n_retrieval_queries,
+            "n_aggregate_queries": report.n_aggregate_queries,
+            "oracle_ledger": report.oracle_ledger,
+            "policies": policies,
+        }
+    )

@@ -10,7 +10,12 @@ exactly as the paper does.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
+
+#: Frame-id collections the metrics accept: sets, arrays, lists.
+IdLike = Iterable[int] | np.ndarray
 
 __all__ = [
     "precision_recall_f1",
@@ -20,13 +25,15 @@ __all__ = [
 ]
 
 
-def _as_id_set(ids) -> set[int]:
+def _as_id_set(ids: IdLike) -> set[int]:
     if isinstance(ids, set):
         return ids
     return set(int(i) for i in np.asarray(ids).ravel())
 
 
-def precision_recall_f1(predicted_ids, true_ids) -> tuple[float, float, float]:
+def precision_recall_f1(
+    predicted_ids: IdLike, true_ids: IdLike
+) -> tuple[float, float, float]:
     """Precision, recall and F1 of a predicted frame-id set.
 
     Follows the paper's conventions: when the true set is empty, any
@@ -46,7 +53,7 @@ def precision_recall_f1(predicted_ids, true_ids) -> tuple[float, float, float]:
     return precision, recall, f1
 
 
-def f1_score(predicted_ids, true_ids) -> float:
+def f1_score(predicted_ids: IdLike, true_ids: IdLike) -> float:
     """F1 of a predicted frame-id set against the truth set."""
     return precision_recall_f1(predicted_ids, true_ids)[2]
 

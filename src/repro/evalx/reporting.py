@@ -26,7 +26,7 @@ def format_seconds(value: float) -> str:
     return f"{value:.3f}"
 
 
-def _cell(value) -> str:
+def _cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)

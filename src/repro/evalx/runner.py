@@ -16,6 +16,7 @@ This is the harness behind every table and figure bench.  One call to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import overload
 
 from repro.baselines.oracle import OracleCountProvider
 from repro.baselines.variants import PAPER_METHODS, MethodSpec
@@ -26,7 +27,13 @@ from repro.data.sequence import FrameSequence
 from repro.evalx.metrics import aggregate_accuracy, f1_score
 from repro.inference import DetectionStore, InferenceEngine
 from repro.models.base import DetectionModel
-from repro.query.ast import AggregateQuery, CompoundRetrievalQuery, RetrievalQuery
+from repro.query.ast import (
+    AggregateQuery,
+    AggregateResult,
+    CompoundRetrievalQuery,
+    RetrievalQuery,
+    RetrievalResult,
+)
 from repro.query.engine import QueryEngine
 from repro.query.workload import QueryWorkload
 from repro.utils.timing import CostLedger
@@ -36,6 +43,9 @@ __all__ = [
     "MethodReport",
     "ExperimentReport",
     "MethodExecutor",
+    "OracleTruth",
+    "oracle_truth",
+    "evaluate_method",
     "run_experiment",
 ]
 
@@ -124,9 +134,9 @@ class MethodExecutor:
             if oracle_provider is not None:
                 self.ledger.merge(oracle_provider.ledger)
             query_engine = QueryEngine(provider, ledger=self.ledger)
-            self._retrieval_engine = query_engine
-            self._engines_by_operator = {}
-            self._default_engine = query_engine
+            self._retrieval_engine: QueryEngine = query_engine
+            self._engines_by_operator: dict[str, QueryEngine] = {}
+            self._default_engine: QueryEngine = query_engine
             return
 
         sampler = spec.make_sampler(config)
@@ -134,7 +144,7 @@ class MethodExecutor:
             sequence, model, ledger=self.ledger, engine=engine
         )
 
-        st_engine = None
+        st_engine: QueryEngine | None = None
         if spec.needs_st_index():
             index = MASTIndex.build(self.sampling, config, ledger=self.ledger)
             st_engine = QueryEngine(STCountProvider(index), ledger=self.ledger)
@@ -143,17 +153,35 @@ class MethodExecutor:
         linear_engine = QueryEngine(linear, ledger=self.ledger)
         linear_retrieval_engine = QueryEngine(linear.quantized(), ledger=self.ledger)
 
+        def pick(predictor: str) -> QueryEngine:
+            # A spec naming the "st" predictor anywhere reports
+            # needs_st_index() True, so st_engine exists by construction.
+            if predictor == "st":
+                assert st_engine is not None
+                return st_engine
+            return linear_engine
+
         self._retrieval_engine = (
-            st_engine if spec.retrieval_predictor == "st" else linear_retrieval_engine
+            pick("st")
+            if spec.retrieval_predictor == "st"
+            else linear_retrieval_engine
         )
         self._engines_by_operator = {
-            operator: (st_engine if predictor == "st" else linear_engine)
+            operator: pick(predictor)
             for operator, predictor in spec.predictor_by_operator.items()
         }
         self._default_engine = st_engine or linear_engine
 
     # ------------------------------------------------------------------
-    def execute(self, query):
+    @overload
+    def execute(
+        self, query: RetrievalQuery | CompoundRetrievalQuery
+    ) -> RetrievalResult: ...
+    @overload
+    def execute(self, query: AggregateQuery) -> AggregateResult: ...
+    def execute(
+        self, query: RetrievalQuery | CompoundRetrievalQuery | AggregateQuery
+    ) -> RetrievalResult | AggregateResult:
         """Answer one query with the spec's predictor assignment."""
         if isinstance(query, (RetrievalQuery, CompoundRetrievalQuery)):
             return self._retrieval_engine.execute(query)
@@ -201,6 +229,135 @@ def run_experiment(
             owned_engine.close()
 
 
+@dataclass
+class OracleTruth:
+    """Exact workload answers for one (sequence, model) pair.
+
+    The §7.1 convention is already applied: retrieval queries whose
+    oracle cardinality is zero are dropped, so ``retrieval_queries``
+    and ``retrieval_results`` are the *kept* pairs.  Everything in here
+    is a deterministic function of (sequence, model, workload), which
+    is what lets the flow layer checkpoint a truth once and replay it
+    under every method step — including the ledger, whose fingerprint
+    covers only its run-stable state.
+    """
+
+    sequence: str
+    model: str
+    n_frames: int
+    retrieval_queries: list[RetrievalQuery | CompoundRetrievalQuery]
+    retrieval_results: list[RetrievalResult]
+    aggregate_queries: list[AggregateQuery]
+    aggregate_results: list[AggregateResult]
+    ledger: CostLedger
+
+
+def oracle_truth(
+    sequence: FrameSequence,
+    model: DetectionModel,
+    workload: QueryWorkload,
+    *,
+    engine: InferenceEngine | None = None,
+) -> OracleTruth:
+    """Run the full-processing Oracle and answer the whole workload."""
+    truth, _ = _oracle_pass(sequence, model, workload, engine=engine)
+    return truth
+
+
+def _oracle_pass(
+    sequence: FrameSequence,
+    model: DetectionModel,
+    workload: QueryWorkload,
+    *,
+    engine: InferenceEngine | None,
+) -> tuple[OracleTruth, OracleCountProvider]:
+    oracle_ledger = CostLedger()
+    oracle_provider = OracleCountProvider(
+        sequence, model, ledger=oracle_ledger, engine=engine
+    )
+    oracle_engine = QueryEngine(oracle_provider, ledger=oracle_ledger)
+
+    # Oracle answers; drop zero-cardinality retrieval queries (§7.1).
+    retrieval_queries: list[RetrievalQuery | CompoundRetrievalQuery] = []
+    oracle_retrieval: list[RetrievalResult] = []
+    for query in workload.retrieval:
+        result = oracle_engine.execute(query)
+        if result.cardinality > 0:
+            retrieval_queries.append(query)
+            oracle_retrieval.append(result)
+    oracle_aggregates = [
+        oracle_engine.execute(query) for query in workload.aggregates
+    ]
+    truth = OracleTruth(
+        sequence=sequence.name,
+        model=model.name,
+        n_frames=len(sequence),
+        retrieval_queries=retrieval_queries,
+        retrieval_results=oracle_retrieval,
+        aggregate_queries=list(workload.aggregates),
+        aggregate_results=oracle_aggregates,
+        ledger=oracle_ledger,
+    )
+    return truth, oracle_provider
+
+
+def evaluate_method(
+    spec: MethodSpec,
+    sequence: FrameSequence,
+    model: DetectionModel,
+    config: MASTConfig,
+    truth: OracleTruth,
+    *,
+    engine: InferenceEngine | None = None,
+    oracle_provider: OracleCountProvider | None = None,
+) -> MethodReport:
+    """Run one method and score it against precomputed oracle truth.
+
+    Pure over its inputs (detections are deterministic per frame), so
+    the flow layer runs one call per method step; the legacy monolithic
+    path calls it in a loop with a shared ``oracle_provider`` so the
+    Oracle method spec reuses the truth pass instead of re-detecting.
+    """
+    executor = MethodExecutor(
+        spec,
+        sequence,
+        model,
+        config,
+        oracle_provider=oracle_provider if spec.is_oracle else None,
+        engine=engine,
+    )
+    report = MethodReport(
+        method=spec.name,
+        sequence=sequence.name,
+        ledger=executor.ledger,
+        sampling=executor.sampling,
+    )
+    for query, oracle_result in zip(truth.retrieval_queries, truth.retrieval_results):
+        predicted = executor.execute(query)
+        report.retrieval.append(
+            QueryEvaluation(
+                query_text=query.describe(),
+                kind="retrieval",
+                metric=f1_score(predicted.id_set(), oracle_result.id_set()),
+                oracle_value=float(oracle_result.cardinality),
+                predicted_value=float(predicted.cardinality),
+                selectivity=oracle_result.selectivity,
+            )
+        )
+    for query, oracle_result in zip(truth.aggregate_queries, truth.aggregate_results):
+        predicted = executor.execute(query)
+        report.aggregates.append(
+            QueryEvaluation(
+                query_text=query.describe(),
+                kind=query.operator,
+                metric=aggregate_accuracy(predicted.value, oracle_result.value),
+                oracle_value=oracle_result.value,
+                predicted_value=predicted.value,
+            )
+        )
+    return report
+
+
 def _run_experiment(
     sequence: FrameSequence,
     model: DetectionModel,
@@ -210,71 +367,24 @@ def _run_experiment(
     config: MASTConfig,
     engine: InferenceEngine | None,
 ) -> ExperimentReport:
-    oracle_ledger = CostLedger()
-    oracle_provider = OracleCountProvider(
-        sequence, model, ledger=oracle_ledger, engine=engine
-    )
-    oracle_engine = QueryEngine(oracle_provider, ledger=oracle_ledger)
-
-    # Oracle answers; drop zero-cardinality retrieval queries (§7.1).
-    retrieval_queries = []
-    oracle_retrieval = []
-    for query in workload.retrieval:
-        result = oracle_engine.execute(query)
-        if result.cardinality > 0:
-            retrieval_queries.append(query)
-            oracle_retrieval.append(result)
-    oracle_aggregates = [
-        oracle_engine.execute(query) for query in workload.aggregates
-    ]
-
+    truth, oracle_provider = _oracle_pass(sequence, model, workload, engine=engine)
     reports: dict[str, MethodReport] = {}
     for spec in methods:
-        executor = MethodExecutor(
+        reports[spec.name] = evaluate_method(
             spec,
             sequence,
             model,
             config,
-            oracle_provider=oracle_provider if spec.is_oracle else None,
+            truth,
             engine=engine,
+            oracle_provider=oracle_provider,
         )
-        report = MethodReport(
-            method=spec.name,
-            sequence=sequence.name,
-            ledger=executor.ledger,
-            sampling=executor.sampling,
-        )
-        for query, oracle_result in zip(retrieval_queries, oracle_retrieval):
-            predicted = executor.execute(query)
-            report.retrieval.append(
-                QueryEvaluation(
-                    query_text=query.describe(),
-                    kind="retrieval",
-                    metric=f1_score(predicted.id_set(), oracle_result.id_set()),
-                    oracle_value=float(oracle_result.cardinality),
-                    predicted_value=float(predicted.cardinality),
-                    selectivity=oracle_result.selectivity,
-                )
-            )
-        for query, oracle_result in zip(workload.aggregates, oracle_aggregates):
-            predicted = executor.execute(query)
-            report.aggregates.append(
-                QueryEvaluation(
-                    query_text=query.describe(),
-                    kind=query.operator,
-                    metric=aggregate_accuracy(predicted.value, oracle_result.value),
-                    oracle_value=oracle_result.value,
-                    predicted_value=predicted.value,
-                )
-            )
-        reports[spec.name] = report
-
     return ExperimentReport(
         sequence=sequence.name,
         model=model.name,
         n_frames=len(sequence),
-        oracle_ledger=oracle_ledger,
+        oracle_ledger=truth.ledger,
         methods=reports,
-        n_retrieval_queries=len(retrieval_queries),
-        n_aggregate_queries=len(workload.aggregates),
+        n_retrieval_queries=len(truth.retrieval_queries),
+        n_aggregate_queries=len(truth.aggregate_queries),
     )

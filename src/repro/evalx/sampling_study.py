@@ -122,7 +122,7 @@ def study_sampling(
     tolerance: int = 3,
     smooth_window: int = 5,
     n_bins: int = 20,
-    rng=None,
+    rng: np.random.Generator | None = None,
 ) -> SamplingStudy:
     """Full RQ8 study: extrema coverage vs a random-sampling baseline,
     plus how strongly the sampler concentrates on dynamic regions.

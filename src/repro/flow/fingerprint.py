@@ -1,0 +1,109 @@
+"""Content fingerprints for checkpoint keys and bit-identity pins.
+
+A flow step's checkpoint key is a digest of *what the step computes
+from*: its name, its static parameters, and the fingerprints of its
+upstream results (the same seed + config + content chaining the
+DetectionStore uses per frame, lifted to whole experiment stages).  A
+step's own fingerprint is a digest of *what it computed*, so any
+downstream key transitively pins the entire upstream value chain.
+
+:func:`stable_digest` therefore has to be deterministic across runs,
+processes, and pickle round-trips.  It canonicalizes recursively:
+containers by structure, numpy arrays by dtype/shape/bytes, floats by
+``repr`` (exact for IEEE doubles), dataclasses by field name/value, and
+:class:`~repro.utils.timing.CostLedger` by its
+:meth:`~repro.utils.timing.CostLedger.deterministic_state` — measured
+wall-clock seconds are *excluded* by construction, which is what makes
+"bit-identical reports" a meaningful cross-run statement.
+
+Unknown object types raise ``TypeError`` instead of guessing: a silent
+fallback (``repr``, pickle bytes) would turn an unnoticed cache or
+memory address into a key that never matches again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.utils.timing import CostLedger
+
+__all__ = ["stable_digest"]
+
+#: Hex digest length (blake2b, 16 bytes -> 32 hex chars).
+_DIGEST_SIZE = 16
+
+
+def stable_digest(value: object) -> str:
+    """A run-stable hex digest of ``value`` (see module docstring)."""
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    _feed(digest, value)
+    return digest.hexdigest()
+
+
+def _feed(digest: "hashlib._Hash", value: object) -> None:
+    if value is None:
+        digest.update(b"N")
+    elif isinstance(value, bool):
+        digest.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        digest.update(b"I" + repr(value).encode("ascii"))
+    elif isinstance(value, float):
+        # repr() round-trips doubles exactly; NaN payloads collapse to
+        # the one canonical 'nan', which is what equality wants anyway.
+        digest.update(b"F" + repr(value).encode("ascii"))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        digest.update(b"S" + str(len(encoded)).encode("ascii") + b":" + encoded)
+    elif isinstance(value, bytes):
+        digest.update(b"Y" + str(len(value)).encode("ascii") + b":" + value)
+    elif isinstance(value, np.generic):
+        _feed(digest, value.item())
+    elif isinstance(value, np.ndarray):
+        digest.update(b"A" + value.dtype.str.encode("ascii"))
+        digest.update(repr(tuple(value.shape)).encode("ascii"))
+        digest.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (tuple, list)):
+        digest.update(b"T(" if isinstance(value, tuple) else b"L(")
+        for item in value:
+            _feed(digest, item)
+            digest.update(b",")
+        digest.update(b")")
+    elif isinstance(value, dict):
+        digest.update(b"D(")
+        for key_digest, item_key in sorted(
+            (stable_digest(item_key), item_key) for item_key in value
+        ):
+            digest.update(key_digest.encode("ascii") + b"=")
+            _feed(digest, value[item_key])
+            digest.update(b",")
+        digest.update(b")")
+    elif isinstance(value, (set, frozenset)):
+        digest.update(b"E(")
+        for item_digest in sorted(stable_digest(item) for item in value):
+            digest.update(item_digest.encode("ascii") + b",")
+        digest.update(b")")
+    elif isinstance(value, CostLedger):
+        digest.update(b"G")
+        _feed(digest, value.deterministic_state())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        digest.update(b"C" + type(value).__qualname__.encode("utf-8") + b"(")
+        for field in dataclasses.fields(value):
+            digest.update(field.name.encode("utf-8") + b"=")
+            _feed(digest, getattr(value, field.name))
+            digest.update(b",")
+        digest.update(b")")
+    else:
+        fingerprint: Any = getattr(value, "__flow_fingerprint__", None)
+        if callable(fingerprint):
+            digest.update(b"O" + type(value).__qualname__.encode("utf-8"))
+            _feed(digest, fingerprint())
+        else:
+            raise TypeError(
+                f"stable_digest cannot canonicalize {type(value).__qualname__!r}; "
+                "add a __flow_fingerprint__() method or restrict the step "
+                "output to digestible types"
+            )

@@ -17,7 +17,7 @@ cache — produce bit-identical answers by construction.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Iterable, Protocol, overload, runtime_checkable
 
 import numpy as np
 
@@ -60,8 +60,20 @@ def condition_mask(condition, resolve: SeriesResolver) -> np.ndarray:
     raise TypeError(f"unsupported condition type {type(condition).__name__}")
 
 
+@overload
 def evaluate_query(
-    query, resolve: SeriesResolver, n_frames: int
+    query: RetrievalQuery | CompoundRetrievalQuery,
+    resolve: SeriesResolver,
+    n_frames: int,
+) -> RetrievalResult: ...
+@overload
+def evaluate_query(
+    query: AggregateQuery, resolve: SeriesResolver, n_frames: int
+) -> AggregateResult: ...
+def evaluate_query(
+    query: RetrievalQuery | CompoundRetrievalQuery | AggregateQuery,
+    resolve: SeriesResolver,
+    n_frames: int,
 ) -> RetrievalResult | AggregateResult:
     """Evaluate a parsed query against ``resolve``'d count series.
 
@@ -111,7 +123,18 @@ class QueryEngine:
         self.ledger = ledger if ledger is not None else CostLedger()
 
     # ------------------------------------------------------------------
-    def execute(self, query) -> RetrievalResult | AggregateResult:
+    @overload
+    def execute(
+        self, query: RetrievalQuery | CompoundRetrievalQuery
+    ) -> RetrievalResult: ...
+    @overload
+    def execute(self, query: AggregateQuery) -> AggregateResult: ...
+    @overload
+    def execute(self, query: str) -> RetrievalResult | AggregateResult: ...
+    def execute(
+        self,
+        query: str | RetrievalQuery | CompoundRetrievalQuery | AggregateQuery,
+    ) -> RetrievalResult | AggregateResult:
         """Run one query (query object or query-language text)."""
         if isinstance(query, str):
             query = parse_query(query)
@@ -125,6 +148,11 @@ class QueryEngine:
                 query, self.provider.count_series, self.provider.n_frames
             )
 
-    def execute_many(self, queries) -> list[RetrievalResult | AggregateResult]:
+    def execute_many(
+        self,
+        queries: Iterable[
+            str | RetrievalQuery | CompoundRetrievalQuery | AggregateQuery
+        ],
+    ) -> list[RetrievalResult | AggregateResult]:
         """Run a list of queries in order."""
         return [self.execute(q) for q in queries]

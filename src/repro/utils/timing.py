@@ -166,6 +166,23 @@ class CostLedger:
         lookups = hits + misses
         return hits / lookups if lookups else float("nan")
 
+    def deterministic_state(self) -> dict[str, dict[str, float] | dict[str, int]]:
+        """The run-stable part of the ledger, for content fingerprints.
+
+        Simulated seconds, invocation counts, and cache counters are pure
+        functions of the (seeded) computation; measured wall-clock seconds
+        are not, so the flow layer's checkpoint fingerprints hash exactly
+        this snapshot and nothing else (two bit-identical runs then agree
+        on every ledger digest no matter how fast each machine was).
+        """
+        with self._lock:
+            return {
+                "simulated": dict(self.simulated),
+                "counts": dict(self.counts),
+                "cache_hits": dict(self.cache_hits),
+                "cache_misses": dict(self.cache_misses),
+            }
+
     def cache_summary(self) -> dict[str, dict[str, int]]:
         """Stage -> ``{"hits": ..., "misses": ...}`` for stages with lookups."""
         with self._lock:

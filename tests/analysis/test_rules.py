@@ -162,6 +162,30 @@ FIXTURES = {
             multiprocessing.set_start_method("spawn")
         """,
     ),
+    "RPR012": (
+        """
+        import time
+
+        def build(flow):
+            @flow.step("timing")
+            def timing_step(sequence):
+                return time.perf_counter()  # HIT
+        """,
+        """
+        import time
+
+        def build(flow):
+            @flow.step("pause")
+            def pause_step(sequence, ctx):
+                ctx.heartbeat(1)
+                time.sleep(0.01)
+                return sequence
+
+        def elapsed():
+            # Outside a step body RPR012 does not apply (RPR002 does).
+            return time.perf_counter()
+        """,
+    ),
 }
 
 CODES = sorted(FIXTURES)
@@ -417,3 +441,86 @@ def test_rpr008_flags_set_start_method_inside_plain_if():
         """,
     )
     assert [f.code for f in report.findings] == ["RPR008"]
+
+
+def test_rpr012_flags_global_statement_in_step():
+    report = run_rule(
+        "RPR012",
+        """
+        _CACHE = {}
+
+        def build(flow):
+            @flow.step("memoized")
+            def memoized_step(sequence):
+                global _CACHE
+                _CACHE[id(sequence)] = sequence
+                return sequence
+        """,
+    )
+    assert [f.code for f in report.findings] == ["RPR012"]
+    assert "_CACHE" in report.findings[0].message
+
+
+def test_rpr012_flags_unseeded_rng_in_step():
+    report = run_rule(
+        "RPR012",
+        """
+        import numpy as np
+
+        def build(flow):
+            @flow.step("noise")
+            def noise_step(sequence):
+                return np.random.default_rng().random(3)
+        """,
+    )
+    assert [f.code for f in report.findings] == ["RPR012"]
+    assert "unseeded" in report.findings[0].message
+
+
+def test_rpr012_allows_seeded_rng_in_step():
+    report = run_rule(
+        "RPR012",
+        """
+        import numpy as np
+
+        def build(flow, seed):
+            @flow.step("noise", params={"seed": seed})
+            def noise_step(sequence, seed):
+                return np.random.default_rng(seed).random(3)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_rpr012_flags_from_imported_clock_at_the_use_site():
+    # Unlike RPR002 (which reports the import gateway once per module),
+    # step purity is about the body: the use inside the step is what
+    # breaks replay, so that is the line reported.
+    report = run_rule(
+        "RPR012",
+        """
+        from time import monotonic
+
+        def build(flow):
+            @flow.step("stamp")
+            def stamp_step(sequence):
+                return monotonic()
+        """,
+    )
+    assert [f.code for f in report.findings] == ["RPR012"]
+    assert report.findings[0].line == 7
+
+
+def test_rpr012_matches_bare_step_decorator():
+    report = run_rule(
+        "RPR012",
+        """
+        import time
+
+        def build(flow):
+            @flow.step
+            def raw_step(sequence):
+                return time.time()
+        """,
+    )
+    assert [f.code for f in report.findings] == ["RPR012"]

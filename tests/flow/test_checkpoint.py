@@ -1,0 +1,69 @@
+"""Checkpoint store: persistence, verification, crash-safe writes."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.flow import Checkpoint, CheckpointCorrupted, CheckpointStore, stable_digest
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "steps")
+
+
+class TestRoundTrip:
+    def test_save_load(self, store):
+        value = {"ids": np.arange(4), "f1": 0.75}
+        fingerprint = store.save("k1", "oracle", value)
+        assert fingerprint == stable_digest(value)
+        loaded = store.load("k1")
+        assert loaded.step == "oracle"
+        assert loaded.fingerprint == fingerprint
+        assert np.array_equal(loaded.value["ids"], value["ids"])
+
+    def test_contains_and_len(self, store):
+        assert "k1" not in store
+        assert len(store) == 0
+        store.save("k1", "a", 1)
+        store.save("k2", "b", 2)
+        assert "k1" in store
+        assert len(store) == 2
+
+    def test_overwrite_same_key(self, store):
+        store.save("k1", "a", 1)
+        store.save("k1", "a", 2)
+        assert store.load("k1").value == 2
+        assert len(store) == 1
+
+    def test_no_scratch_files_left_behind(self, store):
+        store.save("k1", "a", list(range(100)))
+        assert [p.name for p in store.root.glob("*.tmp")] == []
+
+
+class TestCorruption:
+    def test_tampered_value_refused(self, store):
+        store.save("k1", "oracle", {"answer": 42})
+        path = store.path("k1")
+        envelope = pickle.loads(path.read_bytes())
+        forged = Checkpoint(
+            key=envelope.key,
+            step=envelope.step,
+            fingerprint=envelope.fingerprint,
+            value={"answer": 43},
+        )
+        path.write_bytes(pickle.dumps(forged))
+        with pytest.raises(CheckpointCorrupted, match="fingerprint"):
+            store.load("k1")
+
+    def test_wrong_envelope_refused(self, store):
+        store.path("k1").write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointCorrupted, match="valid"):
+            store.load("k1")
+
+    def test_key_mismatch_refused(self, store):
+        store.save("k1", "a", 1)
+        store.path("k2").write_bytes(store.path("k1").read_bytes())
+        with pytest.raises(CheckpointCorrupted, match="k2"):
+            store.load("k2")

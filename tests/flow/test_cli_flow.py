@@ -1,0 +1,102 @@
+"""CLI surface: ``repro flow run/resume/tail`` end to end (tiny flows)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+def run_flow(*argv, ckpt) -> tuple[int, str]:
+    return run_cli(
+        "flow", *argv,
+        "--checkpoint-dir", str(ckpt),
+        "--frames", "120",
+        "--methods", "seiden_pc,mast",
+        "--budgets", "0.1",
+    )
+
+
+@pytest.fixture(scope="module")
+def completed_run(tmp_path_factory):
+    """One completed tiny experiment flow (shared by read-only tests)."""
+    ckpt = tmp_path_factory.mktemp("flow-cli")
+    status, output = run_flow("run", "experiment", ckpt=ckpt)
+    assert status == 0
+    return ckpt, output
+
+
+class TestRun:
+    def test_run_prints_tables_and_digests(self, completed_run):
+        _, output = completed_run
+        assert "steps executed, 0 replayed" in output
+        assert "retrieval F1 vs sampling budget" in output
+        assert "report digest [10pct]:" in output
+
+    def test_second_run_replays_from_checkpoints(self, completed_run):
+        ckpt, first = completed_run
+        status, second = run_flow("run", "experiment", ckpt=ckpt)
+        assert status == 0
+        # Everything cacheable replayed; digests unchanged.
+        assert "5 replayed from checkpoints" in second
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_interrupt_after_exits_3(self, tmp_path):
+        status, output = run_flow(
+            "run", "experiment", "--interrupt-after", "oracle", ckpt=tmp_path
+        )
+        assert status == 3
+        assert "interrupted after step 'oracle'" in output
+
+    def test_interrupted_run_resumes_to_the_same_digest(
+        self, tmp_path, completed_run
+    ):
+        _, clean_output = completed_run
+        status, _ = run_flow(
+            "run", "experiment", "--interrupt-after", "oracle", ckpt=tmp_path
+        )
+        assert status == 3
+        status, resumed = run_flow("resume", "experiment", ckpt=tmp_path)
+        assert status == 0
+        digest = [
+            line for line in resumed.splitlines() if "report digest" in line
+        ]
+        assert digest == [
+            line for line in clean_output.splitlines() if "report digest" in line
+        ]
+
+    def test_corpus_flow_requires_sequences(self, tmp_path):
+        status, output = run_cli(
+            "flow", "run", "corpus", "--checkpoint-dir", str(tmp_path)
+        )
+        assert status == 2
+        assert "requires --sequences" in output
+
+
+class TestResume:
+    def test_resume_without_checkpoints_exits_2(self, tmp_path):
+        status, output = run_flow("resume", "experiment", ckpt=tmp_path / "none")
+        assert status == 2
+        assert "nothing to resume" in output
+
+
+class TestTail:
+    def test_tail_renders_the_event_stream(self, completed_run):
+        ckpt, _ = completed_run
+        status, output = run_cli("flow", "tail", str(ckpt))
+        assert status == 0
+        lines = output.splitlines()
+        assert any("run experiment-semantickitti-0" in line for line in lines)
+        assert any(line.endswith("> oracle") for line in lines)
+        assert "done (" in lines[-1]
+
+    def test_tail_missing_events_exits_2(self, tmp_path):
+        status, output = run_cli("flow", "tail", str(tmp_path))
+        assert status == 2
+        assert "no event log" in output

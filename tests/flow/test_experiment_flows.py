@@ -1,0 +1,233 @@
+"""Flow-vs-legacy differentials and mid-DAG crash/resume accounting.
+
+The acceptance contract of the DAG migration: the flow-shaped
+experiment, corpus, and session pipelines produce reports that are
+*bit-identical* (per the content digests, which exclude only measured
+wall-clock) to the legacy monolithic paths — and a run killed after a
+mid-pipeline checkpoint resumes to the same result without re-detecting
+a single checkpointed frame.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.variants import get_method
+from repro.core import MASTConfig
+from repro.core.sampler import HierarchicalMultiAgentSampler
+from repro.evalx import (
+    CorpusFlowSpec,
+    ExperimentFlowSpec,
+    corpus_digest,
+    corpus_flow,
+    experiment_digest,
+    experiment_flow,
+    run_corpus_experiment,
+    run_experiment,
+)
+from repro.evalx.flows import add_session_chain
+from repro.flow import Flow, FlowInterrupted, FlowRunner, read_events
+from repro.models import make_model
+from repro.query.workload import generate_workload
+from repro.simulation import build_sequence, dataset_spec
+from repro.utils.timing import STAGE_MODEL
+
+N_FRAMES = 120
+METHODS = ("seiden_pc", "mast")
+BUDGET = 0.10
+CORPUS_SEQUENCES = (
+    ("semantickitti", 0, 60, "kitti-demo", ()),
+    ("once", 0, 48, "once-demo", ()),
+)
+N_RETRIEVAL = 4
+
+
+@pytest.fixture(scope="module")
+def experiment_spec():
+    return ExperimentFlowSpec(
+        dataset="semantickitti",
+        sequence_index=0,
+        n_frames=N_FRAMES,
+        methods=METHODS,
+        budgets=(BUDGET,),
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus_spec():
+    return CorpusFlowSpec(sequences=CORPUS_SEQUENCES, n_retrieval=N_RETRIEVAL)
+
+
+class TestExperimentDifferential:
+    def test_flow_report_matches_legacy_run_experiment(
+        self, tmp_path, experiment_spec
+    ):
+        result = FlowRunner(
+            experiment_flow(experiment_spec), checkpoint_dir=tmp_path
+        ).run()
+        sequence = build_sequence(
+            dataset_spec("semantickitti"), 0, n_frames=N_FRAMES, with_points=False
+        )
+        legacy = run_experiment(
+            sequence,
+            make_model("pv_rcnn", seed=experiment_spec.model_seed),
+            generate_workload(rng=experiment_spec.seed),
+            methods=tuple(get_method(m) for m in METHODS),
+            config=MASTConfig(seed=experiment_spec.seed, budget_fraction=BUDGET),
+        )
+        flow_report = result["report:10pct"]
+        assert experiment_digest(flow_report) == experiment_digest(legacy)
+
+    def test_experiment_flow_crash_resume_is_bit_identical(
+        self, tmp_path, experiment_spec
+    ):
+        flow = experiment_flow(experiment_spec)
+        clean = FlowRunner(flow, checkpoint_dir=tmp_path / "clean").run()
+
+        crash_dir = tmp_path / "crash"
+        with pytest.raises(FlowInterrupted):
+            FlowRunner(
+                flow,
+                checkpoint_dir=crash_dir,
+                interrupt_after="method:seiden_pc:10pct",
+            ).run()
+        events_path = crash_dir / "resume.jsonl"
+        resumed = FlowRunner(
+            flow, checkpoint_dir=crash_dir, events_path=events_path
+        ).run()
+
+        assert experiment_digest(resumed["report:10pct"]) == experiment_digest(
+            clean["report:10pct"]
+        )
+        # The oracle and the completed method replayed from checkpoints.
+        assert {"oracle", "method:seiden_pc:10pct"} <= resumed.cached
+        cached_events = {
+            record["step"]
+            for record in read_events(events_path)
+            if record["event"] == "step_cached"
+        }
+        assert {"oracle", "method:seiden_pc:10pct"} <= cached_events
+
+
+class TestCorpusDifferential:
+    def test_flow_report_matches_legacy_run_corpus_experiment(
+        self, tmp_path, corpus_spec
+    ):
+        result = FlowRunner(
+            corpus_flow(corpus_spec), checkpoint_dir=tmp_path
+        ).run()
+        catalog = corpus_flow_catalog(corpus_spec)
+        workload = generate_workload(rng=corpus_spec.seed)
+        legacy = run_corpus_experiment(
+            catalog,
+            make_model("pv_rcnn", seed=corpus_spec.model_seed),
+            config=MASTConfig(
+                seed=corpus_spec.seed,
+                budget_fraction=corpus_spec.budget_fraction,
+            ),
+            retrieval_queries=list(workload.retrieval)[:N_RETRIEVAL],
+            aggregate_queries=list(workload.aggregates),
+        )
+        assert corpus_digest(result["corpus-report"]) == corpus_digest(legacy)
+
+    def test_corpus_crash_resume_with_zero_re_detection(
+        self, tmp_path, corpus_spec
+    ):
+        """Kill after the oracle checkpoint; resume must not re-detect.
+
+        The oracle pass detects every corpus frame into the run's
+        persistent store, so ``invocations == store.misses`` — one model
+        run per persisted frame file, and none after the resume.
+        """
+        flow = corpus_flow(corpus_spec)
+        clean = FlowRunner(flow, checkpoint_dir=tmp_path / "clean").run()
+
+        crash_dir = tmp_path / "crash"
+        with pytest.raises(FlowInterrupted):
+            FlowRunner(
+                flow, checkpoint_dir=crash_dir, interrupt_after="corpus-oracle"
+            ).run()
+
+        total_frames = sum(entry[2] for entry in CORPUS_SEQUENCES)
+        persisted = sorted((crash_dir / "detections").glob("*.npz"))
+        assert len(persisted) == total_frames
+
+        resumed = FlowRunner(flow, checkpoint_dir=crash_dir).run()
+        assert resumed.cached == {"corpus-oracle"}
+        assert corpus_digest(resumed["corpus-report"]) == corpus_digest(
+            clean["corpus-report"]
+        )
+        # Ledger no-double-charge: the oracle billed one invocation per
+        # frame file, and the resumed policy steps added none.
+        report = resumed["corpus-report"]
+        assert report.oracle_ledger.invocations(STAGE_MODEL) == total_frames
+        assert sorted((crash_dir / "detections").glob("*.npz")) == persisted
+
+
+def corpus_flow_catalog(spec):
+    """Materialize a CorpusFlowSpec's catalog exactly as the flow does."""
+    from repro.corpus import SequenceCatalog, SequenceSpec
+
+    catalog = SequenceCatalog()
+    for dataset, index, n_frames, name, overrides in spec.sequences:
+        catalog.register(
+            SequenceSpec(
+                dataset, index, n_frames=n_frames,
+                name=name, world_overrides=overrides,
+            )
+        )
+    return catalog
+
+
+class TestSessionChain:
+    def make_chain_flow(self, parts):
+        flow = Flow("session-demo")
+        flow.add(
+            lambda: build_sequence(
+                dataset_spec("semantickitti"), 0, n_frames=N_FRAMES,
+                with_points=False,
+            ),
+            name="sequence",
+            cache=False,
+            fingerprint="inputs",
+        )
+        final = add_session_chain(flow, budget=BUDGET, parts=parts)
+        return flow, final
+
+    def one_shot(self):
+        config = MASTConfig(seed=1, budget_fraction=BUDGET)
+        sampler = HierarchicalMultiAgentSampler(config, reward_kind="st")
+        sequence = build_sequence(
+            dataset_spec("semantickitti"), 0, n_frames=N_FRAMES, with_points=False
+        )
+        return sampler.sample(sequence, make_model("pv_rcnn", seed=5))
+
+    def test_chained_session_matches_one_shot_sample(self, tmp_path):
+        flow, final = self.make_chain_flow(parts=3)
+        result = FlowRunner(flow, checkpoint_dir=tmp_path).run()
+        chained = result[final]
+        one_shot = self.one_shot()
+        assert np.array_equal(chained.sampled_ids, one_shot.sampled_ids)
+        assert chained.rewards == pytest.approx(one_shot.rewards)
+        assert chained.ledger.invocations(STAGE_MODEL) == (
+            one_shot.ledger.invocations(STAGE_MODEL)
+        )
+        assert chained.ledger.simulated[STAGE_MODEL] == pytest.approx(
+            one_shot.ledger.simulated[STAGE_MODEL]
+        )
+
+    def test_chain_crash_resume_carries_detections_without_recharge(
+        self, tmp_path
+    ):
+        flow, final = self.make_chain_flow(parts=3)
+        with pytest.raises(FlowInterrupted):
+            FlowRunner(
+                flow, checkpoint_dir=tmp_path, interrupt_after="sample:chunk0"
+            ).run()
+        resumed = FlowRunner(flow, checkpoint_dir=tmp_path).run()
+        assert "sample:chunk0" in resumed.cached
+        one_shot = self.one_shot()
+        chained = resumed[final]
+        assert np.array_equal(chained.sampled_ids, one_shot.sampled_ids)
+        assert chained.ledger.invocations(STAGE_MODEL) == (
+            one_shot.ledger.invocations(STAGE_MODEL)
+        )

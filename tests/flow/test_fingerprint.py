@@ -1,0 +1,120 @@
+"""stable_digest: the determinism contract behind checkpoint keys."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.flow import stable_digest
+from repro.utils.timing import STAGE_MODEL, CostLedger
+
+
+@dataclass
+class Point:
+    x: float
+    y: float
+
+
+class Opaque:
+    pass
+
+
+class Fingerprinted:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __flow_fingerprint__(self):
+        return self.payload
+
+
+class TestScalars:
+    def test_repeatable(self):
+        assert stable_digest(("a", 1, 2.5)) == stable_digest(("a", 1, 2.5))
+
+    def test_type_tags_distinguish_lookalikes(self):
+        assert stable_digest(1) != stable_digest(True)
+        assert stable_digest(1) != stable_digest(1.0)
+        assert stable_digest("1") != stable_digest(1)
+        assert stable_digest(None) != stable_digest("None")
+
+    def test_float_uses_exact_repr(self):
+        assert stable_digest(0.1 + 0.2) != stable_digest(0.3)
+
+    def test_tuple_and_list_differ(self):
+        assert stable_digest((1, 2)) != stable_digest([1, 2])
+
+    def test_string_length_prefix_prevents_concat_collisions(self):
+        assert stable_digest(("ab", "c")) != stable_digest(("a", "bc"))
+
+
+class TestContainers:
+    def test_dict_order_does_not_matter(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+    def test_dict_content_matters(self):
+        assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+    def test_set_order_does_not_matter(self):
+        assert stable_digest({3, 1, 2}) == stable_digest({2, 3, 1})
+
+    def test_nested_structures(self):
+        value = {"rows": [(1, 2.0), (3, 4.0)], "tags": {"x"}}
+        assert stable_digest(value) == stable_digest(
+            {"tags": {"x"}, "rows": [(1, 2.0), (3, 4.0)]}
+        )
+
+
+class TestNumpy:
+    def test_array_content(self):
+        a = np.arange(6, dtype=np.float64)
+        assert stable_digest(a) == stable_digest(a.copy())
+        b = a.copy()
+        b[3] = -1.0
+        assert stable_digest(a) != stable_digest(b)
+
+    def test_dtype_matters(self):
+        a = np.arange(4, dtype=np.int64)
+        assert stable_digest(a) != stable_digest(a.astype(np.float64))
+
+    def test_shape_matters(self):
+        a = np.arange(6, dtype=np.float64)
+        assert stable_digest(a) != stable_digest(a.reshape(2, 3))
+
+    def test_non_contiguous_array_equals_its_copy(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        view = a[:, ::2]
+        assert stable_digest(view) == stable_digest(view.copy())
+
+    def test_numpy_scalar_collapses_to_python_scalar(self):
+        assert stable_digest(np.int64(7)) == stable_digest(7)
+
+
+class TestObjects:
+    def test_dataclass_by_fields(self):
+        assert stable_digest(Point(1.0, 2.0)) == stable_digest(Point(1.0, 2.0))
+        assert stable_digest(Point(1.0, 2.0)) != stable_digest(Point(2.0, 1.0))
+
+    def test_ledger_excludes_measured_wall_clock(self):
+        a, b = CostLedger(), CostLedger()
+        for ledger, seconds in ((a, 0.001), (b, 123.0)):
+            ledger.charge(STAGE_MODEL, 0.5, count=3)
+            ledger.measured["step:x"] = seconds
+        assert stable_digest(a) == stable_digest(b)
+
+    def test_ledger_deterministic_state_included(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge(STAGE_MODEL, 0.5, count=3)
+        b.charge(STAGE_MODEL, 0.5, count=4)
+        assert stable_digest(a) != stable_digest(b)
+
+    def test_unknown_type_raises_instead_of_guessing(self):
+        with pytest.raises(TypeError, match="Opaque"):
+            stable_digest(Opaque())
+
+    def test_flow_fingerprint_hook(self):
+        assert stable_digest(Fingerprinted((1, 2))) == stable_digest(
+            Fingerprinted((1, 2))
+        )
+        assert stable_digest(Fingerprinted((1, 2))) != stable_digest(
+            Fingerprinted((1, 3))
+        )
